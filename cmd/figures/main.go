@@ -1,0 +1,51 @@
+// Command figures regenerates the paper's evaluation (Figures 3, 5-10),
+// printing paper-vs-measured tables for every series.
+//
+// Usage:
+//
+//	figures [-scale 1.0] [-fig fig5] [-list]
+//
+// With no -fig flag every figure is regenerated (simulations are shared
+// between figures). -scale trades trace length for runtime; warmup always
+// runs in full so cache/SNC state is faithful at any scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"secureproc/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale (fraction of native trace length)")
+	fig := flag.String("fig", "", "single figure to regenerate (fig3, fig5, ..., fig10)")
+	list := flag.Bool("list", false, "list regenerable figures and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	runner := experiments.NewRunner(*scale)
+	start := time.Now()
+	if *fig != "" {
+		fr, err := runner.ByName(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(fr.Render())
+	} else {
+		for _, fr := range runner.All() {
+			fmt.Print(fr.Render())
+			fmt.Println()
+		}
+	}
+	fmt.Printf("(%d simulations, %.1fs, scale %.2f)\n",
+		runner.CachedRuns(), time.Since(start).Seconds(), *scale)
+}

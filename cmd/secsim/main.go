@@ -1,0 +1,124 @@
+// Command secsim runs one benchmark under one memory-protection scheme and
+// prints the detailed simulation statistics.
+//
+// Usage:
+//
+//	secsim [-bench mcf] [-scheme snc-lru] [-scale 1.0] [-snc 64] [-ways 0]
+//	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare]
+//
+// With -compare, all four schemes run and a slowdown summary is printed
+// (one benchmark's slice of the paper's Figure 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secureproc/internal/sim"
+	"secureproc/internal/stats"
+	"secureproc/internal/workload"
+)
+
+func schemeByName(name string) (sim.SchemeKind, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "base":
+		return sim.SchemeBaseline, nil
+	case "xom":
+		return sim.SchemeXOM, nil
+	case "snc-lru", "lru", "otp":
+		return sim.SchemeOTPLRU, nil
+	case "snc-norepl", "norepl":
+		return sim.SchemeOTPNoRepl, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (baseline, xom, snc-lru, snc-norepl)", name)
+	}
+}
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (see -listbench)")
+	scheme := flag.String("scheme", "snc-lru", "protection scheme: baseline, xom, snc-lru, snc-norepl")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	sncKB := flag.Int("snc", 64, "SNC size in KB")
+	ways := flag.Int("ways", 0, "SNC associativity (0 = fully associative)")
+	crypto := flag.Uint64("crypto", 50, "crypto unit latency in cycles")
+	l2 := flag.Int("l2", 256, "L2 size in KB")
+	l2ways := flag.Int("l2ways", 4, "L2 associativity")
+	compare := flag.Bool("compare", false, "run all four schemes and print slowdowns")
+	listBench := flag.Bool("listbench", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *listBench {
+		for _, n := range workload.BenchmarkNames {
+			fmt.Println(n)
+		}
+		return
+	}
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try -listbench\n", *bench)
+		os.Exit(1)
+	}
+	mkConfig := func(k sim.SchemeKind) sim.Config {
+		cfg := sim.DefaultConfig()
+		cfg.Scheme = k
+		cfg.SNC.SizeBytes = *sncKB << 10
+		cfg.SNC.Ways = *ways
+		cfg.Crypto.Latency = *crypto
+		cfg.L2.SizeBytes = *l2 << 10
+		cfg.L2.Ways = *l2ways
+		return cfg
+	}
+
+	if *compare {
+		base, err := sim.RunProfile(mkConfig(sim.SchemeBaseline), prof, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := stats.NewTable(fmt.Sprintf("%s (scale %.2f, crypto %d cy)", *bench, *scale, *crypto),
+			"scheme", "cycles", "IPC", "slowdown%", "snc-traffic%")
+		t.AddRow("baseline", fmt.Sprint(base.Cycles), fmt.Sprintf("%.2f", base.IPC()), "0.00", "-")
+		for _, k := range []sim.SchemeKind{sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU} {
+			r, err := sim.RunProfile(mkConfig(k), prof, *scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t.AddRow(r.Scheme, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.IPC()),
+				fmt.Sprintf("%.2f", sim.Slowdown(r, base)),
+				fmt.Sprintf("%.2f", stats.Pct(r.SNCTraffic(), r.DemandTraffic())))
+		}
+		fmt.Print(t.String())
+		return
+	}
+
+	k, err := schemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := sim.RunProfile(mkConfig(k), prof, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark:      %s\n", *bench)
+	fmt.Printf("scheme:         %s\n", r.Scheme)
+	fmt.Printf("cycles:         %d\n", r.Cycles)
+	fmt.Printf("instructions:   %d (IPC %.2f)\n", r.Instructions, r.IPC())
+	fmt.Printf("L1D misses:     %d\n", r.L1DMisses)
+	fmt.Printf("L1I misses:     %d\n", r.L1IMisses)
+	fmt.Printf("L2 misses:      %d (hit rate %.1f%%)\n", r.L2Misses,
+		stats.Pct(r.L2Hits, r.L2Hits+r.L2Misses))
+	fmt.Printf("bus: fills=%d writebacks=%d seqfetch=%d seqspill=%d\n",
+		r.LineFills, r.Writebacks, r.SeqNumFetches, r.SeqNumSpills)
+	if r.SNCQueryHits+r.SNCQueryMisses > 0 {
+		fmt.Printf("SNC: query %d/%d hits, update %d/%d hits, traffic %.2f%% of demand\n",
+			r.SNCQueryHits, r.SNCQueryHits+r.SNCQueryMisses,
+			r.SNCUpdateHits, r.SNCUpdateHits+r.SNCUpdateMiss,
+			stats.Pct(r.SNCTraffic(), r.DemandTraffic()))
+	}
+	fmt.Printf("stalls: rob=%d mshr=%d dep=%d\n", r.ROBStallCycles, r.MSHRStallCycles, r.DepStallCycles)
+}

@@ -1,0 +1,211 @@
+// Package cache implements a set-associative cache model with LRU
+// replacement, write-back/write-allocate semantics, and virtual-address tag
+// storage for L2 lines.
+//
+// The paper's hierarchy (Section 5): 32KB 4-way split L1 I/D caches and a
+// 256KB 4-way unified L2 with 128-byte lines. Section 4 additionally
+// requires the L2 to remember each line's virtual address so that the
+// sequence-number cache can be indexed by VA on writebacks (physical
+// addresses may change across context switches); this model stores that VA
+// alongside the tag.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	// Ways is the associativity. Ways == 0 means fully associative.
+	Ways int
+	// HitLatency in cycles (informational; the CPU model decides how much
+	// of it is exposed).
+	HitLatency uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: size and line must be positive", c.Name)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache %s: size %d not a multiple of line %d", c.Name, c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	ways := c.Ways
+	if ways == 0 {
+		ways = lines
+	}
+	if lines%ways != 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible by %d ways", c.Name, lines, ways)
+	}
+	sets := lines / ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	va    uint64 // virtual line address kept for SNC indexing (paper §4)
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative cache. It tracks tags and dirty state only; the
+// simulated data contents live in the functional memory image.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	tick     uint64
+
+	// Statistics.
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// New builds a cache from cfg, panicking on invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = lines
+	}
+	sets := lines / ways
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, sets),
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(sets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address of addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+func (c *Cache) setIndex(addr uint64) uint64 {
+	return (addr >> c.setShift) & c.setMask
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Evicted is true when the fill displaced a valid line.
+	Evicted bool
+	// WritebackVA/WritebackAddr describe the displaced dirty line (valid
+	// only when WritebackNeeded).
+	WritebackNeeded bool
+	WritebackAddr   uint64
+	WritebackVA     uint64
+}
+
+// Access performs a read (write=false) or write (write=true) of addr with
+// write-allocate + write-back semantics, filling on miss. va is the virtual
+// line address recorded with the line (pass addr when VA==PA).
+func (c *Cache) Access(addr, va uint64, write bool) Result {
+	c.Accesses++
+	c.tick++
+	set := c.sets[c.setIndex(addr)]
+	tag := addr >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.Hits++
+			set[i].used = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.Misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	res := Result{}
+	if set[victim].valid {
+		res.Evicted = true
+		if set[victim].dirty {
+			c.Writebacks++
+			res.WritebackNeeded = true
+			res.WritebackAddr = set[victim].tag << c.setShift
+			res.WritebackVA = set[victim].va
+		}
+	}
+	set[victim] = line{tag: tag, va: va &^ uint64(c.cfg.LineBytes-1), valid: true, dirty: write, used: c.tick}
+	return res
+}
+
+// Probe reports whether addr is present without touching LRU state or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := addr >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll clears the cache (used at program/compartment switches),
+// returning the dirty lines as (physical line address, VA) pairs so callers
+// can write them back.
+func (c *Cache) InvalidateAll() (dirty [][2]uint64) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				dirty = append(dirty, [2]uint64{l.tag << c.setShift, l.va})
+			}
+			l.valid = false
+			l.dirty = false
+		}
+	}
+	return dirty
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats clears counters but keeps cache contents (used after warmup).
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Hits, c.Misses, c.Writebacks = 0, 0, 0, 0
+}

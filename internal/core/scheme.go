@@ -1,0 +1,349 @@
+// Package core implements the paper's primary contribution: one-time-pad
+// (counter-mode) memory encryption with a sequence number cache, plus the
+// XOM direct-encryption baseline and the insecure baseline it is evaluated
+// against.
+//
+// A Scheme sits between the L2 cache and the memory bus (paper Figures 2
+// and 4) and answers two questions for every off-chip transaction:
+//
+//   - ReadLine: at what cycle is a missing line usable by the pipeline?
+//   - WritebackLine: when may the CPU proceed past a dirty eviction?
+//
+// The three schemes differ only in how much cryptographic latency lands on
+// the read critical path:
+//
+//	baseline:  mem
+//	XOM:       mem + crypto                      (serial, Figure 2)
+//	OTP:       MAX(mem, crypto) + 1              (parallel, Section 3.2)
+//	OTP+SNC miss (LRU):    seqfetch + decrypt, then MAX(mem, crypto) + 1
+//	OTP+SNC uncovered (NoRepl): mem + crypto     (XOM fallback)
+package core
+
+import (
+	"secureproc/internal/crypto/engine"
+	"secureproc/internal/mem"
+	"secureproc/internal/snc"
+	"secureproc/internal/stats"
+)
+
+// Access identifies one line-granular off-chip transaction.
+type Access struct {
+	// PA is the physical line address (what the bus sees).
+	PA uint64
+	// VA is the virtual line address (what seeds and the SNC see,
+	// paper Section 4).
+	VA uint64
+	// Instr marks instruction fetches, which use constant VA-derived
+	// seeds and never need the SNC (Section 3.4.1).
+	Instr bool
+}
+
+// Scheme is a memory-protection state machine between L2 and memory.
+type Scheme interface {
+	// Name returns the figure label for this scheme.
+	Name() string
+	// ReadLine is called for every L2 read miss issued at cycle now; it
+	// returns the cycle at which the plaintext line is available to the
+	// pipeline.
+	ReadLine(now uint64, a Access) (ready uint64)
+	// WritebackLine is called for every dirty L2 eviction at cycle now; it
+	// returns the cycle at which the CPU may proceed (usually now; later
+	// only when the write buffer is full).
+	WritebackLine(now uint64, a Access) (cpuFree uint64)
+	// Stats returns scheme-internal counters for reporting.
+	Stats() *stats.Set
+	// ResetStats clears counters after warmup.
+	ResetStats()
+}
+
+// Baseline is the insecure processor: no cryptography at all.
+type Baseline struct {
+	bus  *mem.Bus
+	wbuf *mem.WriteBuffer
+}
+
+// NewBaseline builds the insecure baseline over the given memory system.
+func NewBaseline(bus *mem.Bus, wbuf *mem.WriteBuffer) *Baseline {
+	return &Baseline{bus: bus, wbuf: wbuf}
+}
+
+// Name implements Scheme.
+func (b *Baseline) Name() string { return "baseline" }
+
+// ReadLine implements Scheme: just the memory access.
+func (b *Baseline) ReadLine(now uint64, a Access) uint64 {
+	return b.bus.Read(now, mem.SrcLineFill)
+}
+
+// WritebackLine implements Scheme: queue in the write buffer.
+func (b *Baseline) WritebackLine(now uint64, a Access) uint64 {
+	return b.wbuf.Insert(now, now, func(start uint64) uint64 {
+		return b.bus.Write(start, mem.SrcWriteback)
+	})
+}
+
+// Stats implements Scheme.
+func (b *Baseline) Stats() *stats.Set { return stats.NewSet() }
+
+// ResetStats implements Scheme.
+func (b *Baseline) ResetStats() {}
+
+// XOM models the direct-encryption architecture of [Lie et al.]: every line
+// is decrypted after it arrives and encrypted before it leaves (Figure 2).
+type XOM struct {
+	bus    *mem.Bus
+	wbuf   *mem.WriteBuffer
+	crypto *engine.Engine
+
+	reads      uint64
+	writebacks uint64
+}
+
+// NewXOM builds the XOM baseline over the given memory system and crypto
+// unit.
+func NewXOM(bus *mem.Bus, wbuf *mem.WriteBuffer, crypto *engine.Engine) *XOM {
+	return &XOM{bus: bus, wbuf: wbuf, crypto: crypto}
+}
+
+// Name implements Scheme.
+func (x *XOM) Name() string { return "XOM" }
+
+// ReadLine implements Scheme: decryption starts only after the line arrives
+// — the serial critical path the paper attacks.
+func (x *XOM) ReadLine(now uint64, a Access) uint64 {
+	x.reads++
+	arrival := x.bus.Read(now, mem.SrcLineFill)
+	return x.crypto.Issue(arrival)
+}
+
+// WritebackLine implements Scheme: encryption happens while the line sits in
+// the write buffer (Section 2.2), so only buffer pressure stalls the CPU.
+func (x *XOM) WritebackLine(now uint64, a Access) uint64 {
+	x.writebacks++
+	ready := x.crypto.Issue(now)
+	return x.wbuf.Insert(now, ready, func(start uint64) uint64 {
+		return x.bus.Write(start, mem.SrcWriteback)
+	})
+}
+
+// Stats implements Scheme.
+func (x *XOM) Stats() *stats.Set {
+	s := stats.NewSet()
+	s.Add("xom.reads", x.reads)
+	s.Add("xom.writebacks", x.writebacks)
+	return s
+}
+
+// ResetStats implements Scheme.
+func (x *XOM) ResetStats() { x.reads, x.writebacks = 0, 0 }
+
+// OTP is the paper's scheme: pads are computed from address-derived seeds in
+// parallel with the memory access; data lines carry per-line sequence
+// numbers cached in the SNC.
+type OTP struct {
+	bus    *mem.Bus
+	wbuf   *mem.WriteBuffer
+	crypto *engine.Engine
+	snc    *snc.SNC
+	policy snc.Policy
+
+	// seqMem is the architectural sequence-number table in (encrypted)
+	// memory used by the LRU policy for spilled entries. It is the
+	// functional mirror of what the timing model charges traffic for.
+	seqMem map[uint64]uint16
+
+	// Counters.
+	instrReads   uint64
+	queryHits    uint64
+	queryMisses  uint64
+	updateHits   uint64
+	updateMisses uint64
+	directReads  uint64 // NoRepl fallback reads
+	directWrites uint64 // NoRepl fallback writes
+	spills       uint64
+	seqFetches   uint64
+}
+
+// NewOTP builds the one-time-pad scheme. The SNC's configured policy
+// selects LRU vs no-replacement behaviour.
+func NewOTP(bus *mem.Bus, wbuf *mem.WriteBuffer, crypto *engine.Engine, s *snc.SNC) *OTP {
+	return &OTP{
+		bus:    bus,
+		wbuf:   wbuf,
+		crypto: crypto,
+		snc:    s,
+		policy: s.Config().Policy,
+		seqMem: make(map[uint64]uint16),
+	}
+}
+
+// Name implements Scheme, matching the paper's figure labels.
+func (o *OTP) Name() string { return o.policy.String() }
+
+// SNC exposes the underlying sequence number cache (for reporting).
+func (o *OTP) SNC() *snc.SNC { return o.snc }
+
+// ReadLine implements Scheme.
+func (o *OTP) ReadLine(now uint64, a Access) uint64 {
+	if a.Instr {
+		// Instructions: seed is derived from the VA alone (they are never
+		// written back), so the pad always starts with the read.
+		o.instrReads++
+		pad := o.crypto.Issue(now)
+		arrival := o.bus.Read(now, mem.SrcLineFill)
+		return max64(arrival, pad) + 1
+	}
+	seq, hit := o.snc.Query(a.VA)
+	_ = seq
+	if hit {
+		o.queryHits++
+		pad := o.crypto.Issue(now)
+		arrival := o.bus.Read(now, mem.SrcLineFill)
+		return max64(arrival, pad) + 1
+	}
+	o.queryMisses++
+	switch o.policy {
+	case snc.LRU:
+		// Algorithm 1, query-miss arm: fetch the encrypted sequence number
+		// (a full memory round trip), decrypt it, then generate pads; the
+		// demand line fetch proceeds in parallel.
+		arrival := o.bus.Read(now, mem.SrcLineFill)
+		seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
+		o.seqFetches++
+		seqPlain := o.crypto.Issue(seqArrival) // decrypt the seq number
+		pad := o.crypto.Issue(seqPlain)        // encrypt the seeds
+		o.installFetched(now, a.VA)
+		return max64(arrival, pad) + 1
+	default: // NoReplacement
+		// Uncovered line: it was encrypted directly (XOM-style), so the
+		// read pays the serial decrypt.
+		o.directReads++
+		arrival := o.bus.Read(now, mem.SrcLineFill)
+		return o.crypto.Issue(arrival)
+	}
+}
+
+// installFetched moves the line's sequence number from the in-memory table
+// into the SNC, spilling the LRU victim back to memory (off the critical
+// path, through the write buffer).
+func (o *OTP) installFetched(now uint64, lineVA uint64) {
+	seq := o.seqMem[lineVA]
+	victimVA, victimSeq, evicted := o.snc.Install(lineVA, seq)
+	if evicted {
+		o.spill(now, victimVA, victimSeq)
+	}
+}
+
+func (o *OTP) spill(now uint64, victimVA uint64, victimSeq uint16) {
+	o.spills++
+	o.seqMem[victimVA] = victimSeq
+	// The spilled number is encrypted directly (Section 4.1: "we choose to
+	// use encryption on the sequence numbers directly, just as the XOM
+	// solution") and drains through the write buffer.
+	ready := o.crypto.Issue(now)
+	o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+		return o.bus.Write(start, mem.SrcSeqNumSpill)
+	})
+}
+
+// WritebackLine implements Scheme.
+func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
+	if a.Instr {
+		// Instruction lines are never dirty; nothing to do.
+		return now
+	}
+	if _, hit := o.snc.Update(a.VA); hit {
+		o.updateHits++
+		// Pad generation and XOR happen while the line sits in the write
+		// buffer; one extra cycle for the XOR vs XOM (Section 4.2).
+		pad := o.crypto.Issue(now)
+		return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
+			return o.bus.Write(start, mem.SrcWriteback)
+		})
+	}
+	o.updateMisses++
+	switch o.policy {
+	case snc.LRU:
+		// Algorithm 1, update-miss arm: fetch + decrypt the stored number,
+		// increment, pad, encrypt, install, spill the victim. All in the
+		// write buffer's shadow.
+		seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
+		o.seqFetches++
+		seqPlain := o.crypto.Issue(seqArrival)
+		pad := o.crypto.Issue(seqPlain)
+		o.seqMem[a.VA]++ // increment the architectural copy
+		o.installFetched(now, a.VA)
+		return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
+			return o.bus.Write(start, mem.SrcWriteback)
+		})
+	default: // NoReplacement
+		if o.snc.TryInstall(a.VA, 1) {
+			// Vacancy: the line joins the one-time-pad world with a fresh
+			// sequence number.
+			pad := o.crypto.Issue(now)
+			return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
+				return o.bus.Write(start, mem.SrcWriteback)
+			})
+		}
+		// Full: direct encryption, exactly like XOM.
+		o.directWrites++
+		ready := o.crypto.Issue(now)
+		return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+			return o.bus.Write(start, mem.SrcWriteback)
+		})
+	}
+}
+
+// ContextSwitch models Section 4.3's option 1 for protecting SNC contents
+// across a task switch: every valid entry is flushed to memory with (direct)
+// encryption. The sequence numbers stream through the crypto unit and the
+// write buffer; the returned cycle is when the flush has fully drained —
+// the new task can start issuing earlier, but the bus sees the spill burst.
+// The flushed numbers land in the in-memory table, so the original task
+// finds them again via query misses when it resumes.
+func (o *OTP) ContextSwitch(now uint64) (flushDone uint64) {
+	flushDone = now
+	for _, pair := range o.snc.FlushAll() {
+		lineVA, seq := pair[0], uint16(pair[1])
+		o.seqMem[lineVA] = seq
+		o.spills++
+		ready := o.crypto.Issue(now)
+		done := o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+			return o.bus.Write(start, mem.SrcSeqNumSpill)
+		})
+		if done > flushDone {
+			flushDone = done
+		}
+	}
+	return flushDone
+}
+
+// Stats implements Scheme.
+func (o *OTP) Stats() *stats.Set {
+	s := stats.NewSet()
+	s.Add("otp.instr_reads", o.instrReads)
+	s.Add("otp.query_hits", o.queryHits)
+	s.Add("otp.query_misses", o.queryMisses)
+	s.Add("otp.update_hits", o.updateHits)
+	s.Add("otp.update_misses", o.updateMisses)
+	s.Add("otp.direct_reads", o.directReads)
+	s.Add("otp.direct_writes", o.directWrites)
+	s.Add("otp.spills", o.spills)
+	s.Add("otp.seq_fetches", o.seqFetches)
+	return s
+}
+
+// ResetStats implements Scheme.
+func (o *OTP) ResetStats() {
+	o.instrReads, o.queryHits, o.queryMisses = 0, 0, 0
+	o.updateHits, o.updateMisses = 0, 0
+	o.directReads, o.directWrites, o.spills, o.seqFetches = 0, 0, 0, 0
+	o.snc.ResetStats()
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

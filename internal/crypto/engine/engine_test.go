@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Latency != 50 || cfg.InitiationInterval != 1 || cfg.Ports != 1 {
+		t.Errorf("unexpected default config: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Latency: 0, InitiationInterval: 1, Ports: 1},
+		{Latency: 50, InitiationInterval: 0, Ports: 1},
+		{Latency: 50, InitiationInterval: 1, Ports: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: config %+v should be invalid", i, cfg)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestSingleIssueLatency(t *testing.T) {
+	e := New(DefaultConfig())
+	if done := e.Issue(100); done != 150 {
+		t.Errorf("Issue(100) = %d, want 150", done)
+	}
+	if e.Issued != 1 {
+		t.Errorf("Issued = %d, want 1", e.Issued)
+	}
+}
+
+func TestPipelinedBurst(t *testing.T) {
+	// 16 pads for a 128B line with 8B DES blocks: last pad at
+	// now + 50 + 15*1.
+	e := New(DefaultConfig())
+	if done := e.IssueBurst(0, 16); done != 50+15 {
+		t.Errorf("IssueBurst(0,16) = %d, want 65", done)
+	}
+	if e.Issued != 16 {
+		t.Errorf("Issued = %d, want 16", e.Issued)
+	}
+}
+
+func TestBurstZeroAndNegative(t *testing.T) {
+	e := New(DefaultConfig())
+	if done := e.IssueBurst(7, 0); done != 7 {
+		t.Errorf("IssueBurst(7,0) = %d, want 7", done)
+	}
+	if done := e.IssueBurst(7, -3); done != 7 {
+		t.Errorf("IssueBurst(7,-3) = %d, want 7", done)
+	}
+}
+
+func TestBackToBackIssueRespectsII(t *testing.T) {
+	cfg := Config{Latency: 10, InitiationInterval: 4, Ports: 1}
+	e := New(cfg)
+	d1 := e.Issue(0) // starts 0, done 10, port free at 4
+	d2 := e.Issue(0) // must wait to 4, done 14
+	if d1 != 10 || d2 != 14 {
+		t.Errorf("got %d,%d want 10,14", d1, d2)
+	}
+	if e.BusyStalls != 1 || e.StallCycles != 4 {
+		t.Errorf("stalls=%d cycles=%d, want 1,4", e.BusyStalls, e.StallCycles)
+	}
+}
+
+func TestMultiPort(t *testing.T) {
+	cfg := Config{Latency: 10, InitiationInterval: 10, Ports: 2}
+	e := New(cfg)
+	d1 := e.Issue(0)
+	d2 := e.Issue(0) // second port, no stall
+	d3 := e.Issue(0) // both busy until 10
+	if d1 != 10 || d2 != 10 || d3 != 20 {
+		t.Errorf("got %d,%d,%d want 10,10,20", d1, d2, d3)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := New(DefaultConfig())
+	e.Issue(0)
+	e.Issue(0)
+	e.Reset()
+	if e.Issued != 0 || e.BusyStalls != 0 || e.StallCycles != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if done := e.Issue(0); done != 50 {
+		t.Errorf("after reset Issue(0) = %d, want 50", done)
+	}
+}
+
+// TestCompletionMonotonic: issuing later never completes earlier.
+func TestCompletionMonotonic(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New(DefaultConfig())
+		var lastNow, lastDone uint64
+		for _, raw := range times {
+			now := lastNow + uint64(raw)%100
+			done := e.Issue(now)
+			if done < lastDone && now >= lastNow {
+				return false
+			}
+			if done < now+e.Latency() {
+				return false // latency lower bound must hold
+			}
+			lastNow, lastDone = now, done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{Latency: 102, InitiationInterval: 1, Ports: 1}
+	e := New(cfg)
+	if e.Config() != cfg {
+		t.Error("Config() mismatch")
+	}
+	if e.Latency() != 102 {
+		t.Error("Latency() mismatch")
+	}
+}

@@ -1,0 +1,152 @@
+// Package rsa implements textbook RSA key generation and encryption on top
+// of math/big, sized for simulation use.
+//
+// The paper's software-distribution model (Section 2.1): the vendor encrypts
+// the program with a fast symmetric key Ks, then encrypts Ks under the
+// processor's public key Kp and ships both. The processor recovers Ks with
+// its private key Kp^-1 once at program start. This package provides exactly
+// that key-wrapping primitive for the end-to-end demos; it deliberately uses
+// simple PKCS#1-v1.5-style random padding and is NOT for production use.
+package rsa
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// PublicKey is an RSA public key (the processor's burned-in Kp).
+type PublicKey struct {
+	N *big.Int // modulus
+	E *big.Int // public exponent
+}
+
+// PrivateKey is an RSA private key (the processor's internal Kp^-1).
+type PrivateKey struct {
+	PublicKey
+	D *big.Int // private exponent
+}
+
+var errShortModulus = errors.New("rsa: modulus too small for message")
+
+// GenerateKey creates an RSA key pair with a modulus of the given bit size
+// (>= 256) using the supplied randomness source.
+func GenerateKey(rand io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 256 {
+		return nil, fmt.Errorf("rsa: modulus size %d too small (min 256)", bits)
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for attempts := 0; attempts < 100; attempts++ {
+		p, err := randPrime(rand, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := randPrime(rand, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+		d := new(big.Int)
+		if d.ModInverse(e, phi) == nil {
+			continue // e not invertible mod phi; rare, retry
+		}
+		return &PrivateKey{PublicKey: PublicKey{N: n, E: e}, D: d}, nil
+	}
+	return nil, errors.New("rsa: key generation failed after 100 attempts")
+}
+
+func randPrime(rand io.Reader, bits int) (*big.Int, error) {
+	bytes := make([]byte, (bits+7)/8)
+	for {
+		if _, err := io.ReadFull(rand, bytes); err != nil {
+			return nil, err
+		}
+		p := new(big.Int).SetBytes(bytes)
+		// Force the top bit (so products reach the target size) and oddness.
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, 0, 1)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+}
+
+// maxPayload returns the largest message the key can wrap with the 11-byte
+// minimum padding overhead.
+func (pub *PublicKey) maxPayload() int {
+	return (pub.N.BitLen()+7)/8 - 11
+}
+
+// Encrypt wraps msg (e.g. a symmetric program key) under the public key with
+// randomized type-2 padding: 0x00 0x02 <nonzero random> 0x00 msg.
+func (pub *PublicKey) Encrypt(rand io.Reader, msg []byte) ([]byte, error) {
+	k := (pub.N.BitLen() + 7) / 8
+	if len(msg) > pub.maxPayload() {
+		return nil, errShortModulus
+	}
+	em := make([]byte, k)
+	em[1] = 2
+	ps := em[2 : k-len(msg)-1]
+	if err := fillNonZero(rand, ps); err != nil {
+		return nil, err
+	}
+	em[k-len(msg)-1] = 0
+	copy(em[k-len(msg):], msg)
+	m := new(big.Int).SetBytes(em)
+	c := new(big.Int).Exp(m, pub.E, pub.N)
+	out := make([]byte, k)
+	c.FillBytes(out)
+	return out, nil
+}
+
+func fillNonZero(rand io.Reader, p []byte) error {
+	if _, err := io.ReadFull(rand, p); err != nil {
+		return err
+	}
+	for i := range p {
+		for p[i] == 0 {
+			var b [1]byte
+			if _, err := io.ReadFull(rand, b[:]); err != nil {
+				return err
+			}
+			p[i] = b[0]
+		}
+	}
+	return nil
+}
+
+// Decrypt unwraps a ciphertext produced by Encrypt.
+func (priv *PrivateKey) Decrypt(ct []byte) ([]byte, error) {
+	c := new(big.Int).SetBytes(ct)
+	if c.Cmp(priv.N) >= 0 {
+		return nil, errors.New("rsa: ciphertext out of range")
+	}
+	m := new(big.Int).Exp(c, priv.D, priv.N)
+	k := (priv.N.BitLen() + 7) / 8
+	em := make([]byte, k)
+	m.FillBytes(em)
+	if em[0] != 0 || em[1] != 2 {
+		return nil, errors.New("rsa: invalid padding")
+	}
+	// Find the 0x00 separator after the random pad.
+	sep := -1
+	for i := 2; i < len(em); i++ {
+		if em[i] == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 10 { // at least 8 bytes of random pad required
+		return nil, errors.New("rsa: invalid padding")
+	}
+	return em[sep+1:], nil
+}

@@ -1,0 +1,158 @@
+package rsa
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// detRand adapts math/rand to io.Reader for deterministic key generation in
+// tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newRand(seed int64) detRand { return detRand{rand.New(rand.NewSource(seed))} }
+
+func TestGenerateKeySizes(t *testing.T) {
+	for _, bits := range []int{256, 384, 512} {
+		key, err := GenerateKey(newRand(int64(bits)), bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if key.N.BitLen() != bits {
+			t.Errorf("bits=%d: modulus is %d bits", bits, key.N.BitLen())
+		}
+		// Verify e*d == 1 works operationally via a round trip below.
+		if key.D.Cmp(big.NewInt(1)) <= 0 {
+			t.Errorf("bits=%d: implausible private exponent", bits)
+		}
+	}
+}
+
+func TestGenerateKeyTooSmall(t *testing.T) {
+	if _, err := GenerateKey(newRand(1), 128); err == nil {
+		t.Error("expected error for 128-bit modulus")
+	}
+}
+
+func TestWrapUnwrapSymmetricKey(t *testing.T) {
+	// The exact scenario from paper Section 2.1: wrap a DES key Ks under
+	// the processor public key; unwrap inside the processor.
+	rng := newRand(42)
+	key, err := GenerateKey(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []byte{0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1}
+	ct, err := key.PublicKey.Encrypt(rng, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, ks) {
+		t.Error("ciphertext contains the wrapped key in the clear")
+	}
+	back, err := key.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, ks) {
+		t.Errorf("unwrap = %x, want %x", back, ks)
+	}
+}
+
+func TestEncryptRandomized(t *testing.T) {
+	rng := newRand(7)
+	key, err := GenerateKey(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("same message")
+	c1, err1 := key.PublicKey.Encrypt(rng, msg)
+	c2, err2 := key.PublicKey.Encrypt(rng, msg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if bytes.Equal(c1, c2) {
+		t.Error("two encryptions of the same message are identical (padding not randomized)")
+	}
+}
+
+func TestMessageTooLong(t *testing.T) {
+	rng := newRand(9)
+	key, err := GenerateKey(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 64)
+	if _, err := key.PublicKey.Encrypt(rng, big); err == nil {
+		t.Error("expected error for oversized message")
+	}
+}
+
+func TestDecryptRejectsTampered(t *testing.T) {
+	rng := newRand(11)
+	key, err := GenerateKey(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := key.PublicKey.Encrypt(rng, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most random tamperings destroy the 0x00 0x02 framing.
+	rejected := 0
+	for i := 0; i < 20; i++ {
+		bad := append([]byte(nil), ct...)
+		bad[i%len(bad)] ^= 0xff
+		if _, err := key.Decrypt(bad); err != nil {
+			rejected++
+		}
+	}
+	if rejected < 15 {
+		t.Errorf("only %d/20 tampered ciphertexts rejected", rejected)
+	}
+}
+
+func TestDecryptOutOfRange(t *testing.T) {
+	key, err := GenerateKey(newRand(13), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, 64)
+	for i := range huge {
+		huge[i] = 0xff
+	}
+	if _, err := key.Decrypt(huge); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestRoundTripVariousLengths(t *testing.T) {
+	rng := newRand(17)
+	key, err := GenerateKey(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 32; n += 8 {
+		msg := make([]byte, n)
+		rng.Read(msg)
+		ct, err := key.PublicKey.Encrypt(rng, msg)
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		back, err := key.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		if !bytes.Equal(back, msg) {
+			t.Fatalf("len %d: round trip mismatch", n)
+		}
+	}
+}

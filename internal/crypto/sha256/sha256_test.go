@@ -1,0 +1,128 @@
+package sha256
+
+import (
+	"bytes"
+	stdhmac "crypto/hmac"
+	stdsha "crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNISTVectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	}
+	for i, tc := range cases {
+		got := Sum256([]byte(tc.in))
+		if hex.EncodeToString(got[:]) != tc.want {
+			t.Errorf("case %d: got %x, want %s", i, got, tc.want)
+		}
+	}
+}
+
+func TestMillionA(t *testing.T) {
+	d := New()
+	chunk := bytes.Repeat([]byte{'a'}, 1000)
+	for i := 0; i < 1000; i++ {
+		d.Write(chunk)
+	}
+	want := "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+	if got := hex.EncodeToString(d.Sum(nil)); got != want {
+		t.Errorf("million 'a': got %s, want %s", got, want)
+	}
+}
+
+// TestAgainstStdlib cross-validates over random inputs and random write
+// chunkings (exercises the buffering logic).
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(500)
+		msg := make([]byte, n)
+		rng.Read(msg)
+		ours := New()
+		// Write in random chunks.
+		rest := msg
+		for len(rest) > 0 {
+			c := rng.Intn(len(rest)) + 1
+			ours.Write(rest[:c])
+			rest = rest[c:]
+		}
+		want := stdsha.Sum256(msg)
+		if got := ours.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Fatalf("iter %d (len %d): got %x want %x", i, n, got, want)
+		}
+	}
+}
+
+// TestSumNonDestructive checks that Sum can be called repeatedly and
+// interleaved with Write.
+func TestSumNonDestructive(t *testing.T) {
+	d := New()
+	d.Write([]byte("ab"))
+	s1 := d.Sum(nil)
+	s2 := d.Sum(nil)
+	if !bytes.Equal(s1, s2) {
+		t.Error("consecutive Sums differ")
+	}
+	d.Write([]byte("c"))
+	want := Sum256([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Error("Write after Sum gives wrong digest")
+	}
+}
+
+// TestPaddingBoundaries hits message lengths around the 55/56/64-byte padding
+// edge cases.
+func TestPaddingBoundaries(t *testing.T) {
+	for n := 50; n <= 130; n++ {
+		msg := bytes.Repeat([]byte{0x5a}, n)
+		want := stdsha.Sum256(msg)
+		got := Sum256(msg)
+		if got != want {
+			t.Fatalf("len %d: got %x want %x", n, got, want)
+		}
+	}
+}
+
+func TestHMACAgainstStdlib(t *testing.T) {
+	f := func(key, msg []byte) bool {
+		m := stdhmac.New(stdsha.New, key)
+		m.Write(msg)
+		want := m.Sum(nil)
+		got := HMAC(key, msg)
+		return bytes.Equal(got[:], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Long key path (> block size).
+	long := bytes.Repeat([]byte{9}, 200)
+	m := stdhmac.New(stdsha.New, long)
+	m.Write([]byte("x"))
+	want := m.Sum(nil)
+	got := HMAC(long, []byte("x"))
+	if !bytes.Equal(got[:], want) {
+		t.Error("HMAC long-key mismatch")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := New()
+	if d.Size() != 32 || d.BlockSize() != 64 {
+		t.Error("wrong Size or BlockSize")
+	}
+}
+
+func BenchmarkSum256_1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(buf)
+	}
+}

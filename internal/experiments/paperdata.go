@@ -1,0 +1,82 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figures 3 and 5-10) and prints paper-vs-measured comparisons.
+package experiments
+
+import "secureproc/internal/stats"
+
+// Benchmarks lists the SPEC2000 benchmarks in the paper's figure order.
+var Benchmarks = []string{
+	"ammp", "art", "bzip2", "equake", "gcc", "gzip",
+	"mcf", "mesa", "parser", "vortex", "vpr",
+}
+
+// Values below are read off the paper's figures (the bars are labelled with
+// exact numbers in the original).
+
+// PaperFig3XOM is Figure 3 / Figure 5 "XOM": percent slowdown of XOM vs the
+// insecure baseline, 50-cycle crypto.
+var PaperFig3XOM = stats.NewSeries("XOM (paper)", Benchmarks, []float64{
+	23.02, 34.91, 15.82, 14.27, 18.30, 1.08, 34.76, 0.63, 13.39, 7.05, 21.16,
+})
+
+// PaperFig5NoRepl is Figure 5 "SNC-NoRepl": 64KB no-replacement SNC.
+var PaperFig5NoRepl = stats.NewSeries("SNC-NoRepl (paper)", Benchmarks, []float64{
+	4.57, 0.23, 1.04, 0.06, 18.07, 0.51, 13.51, 0.24, 6.94, 5.02, 0.24,
+})
+
+// PaperFig5LRU is Figure 5 "SNC-LRU": 64KB LRU SNC.
+var PaperFig5LRU = stats.NewSeries("SNC-LRU (paper)", Benchmarks, []float64{
+	2.76, 0.23, 0.56, 0.06, 1.40, 0.31, 6.44, 0.07, 0.95, 1.03, 0.24,
+})
+
+// PaperFig6 is Figure 6: LRU SNC size sweep (percent slowdown).
+var (
+	PaperFig6SNC32 = stats.NewSeries("32KB (paper)", Benchmarks, []float64{
+		4.36, 0.23, 1.61, 7.58, 1.44, 0.33, 15.23, 0.14, 2.70, 1.86, 0.24,
+	})
+	PaperFig6SNC64  = PaperFig5LRU.Relabel("64KB (paper)")
+	PaperFig6SNC128 = stats.NewSeries("128KB (paper)", Benchmarks, []float64{
+		0.41, 0.23, 0.34, 0.06, 1.29, 0.30, 1.45, 0.01, 0.57, 0.70, 0.24,
+	})
+)
+
+// PaperFig7 is Figure 7: fully associative vs 32-way 64KB SNC.
+var (
+	PaperFig7FullAssoc = PaperFig5LRU.Relabel("fully assoc (paper)")
+	PaperFig7Way32     = stats.NewSeries("32-way (paper)", Benchmarks, []float64{
+		9.62, 0.23, 0.55, 0.18, 1.38, 0.31, 6.34, 0.07, 0.94, 1.03, 0.24,
+	})
+)
+
+// PaperFig8 is Figure 8: execution time normalized to the insecure baseline
+// with a 256KB 4-way L2.
+var (
+	PaperFig8XOM256 = stats.NewSeries("XOM-256KL2 (paper)", Benchmarks, []float64{
+		1.23, 1.35, 1.16, 1.14, 1.18, 1.01, 1.35, 1.01, 1.13, 1.07, 1.21,
+	})
+	PaperFig8XOM384 = stats.NewSeries("XOM-384KL2 (paper)", Benchmarks, []float64{
+		1.20, 1.35, 1.03, 1.14, 0.96, 1.00, 1.32, 0.99, 1.02, 0.93, 1.04,
+	})
+	PaperFig8SNC = stats.NewSeries("SNC-32way-LRU-256KL2 (paper)", Benchmarks, []float64{
+		1.10, 1.00, 1.01, 1.00, 1.01, 1.00, 1.06, 1.00, 1.01, 1.01, 1.00,
+	})
+)
+
+// PaperFig9Traffic is Figure 9: SNC-induced extra memory traffic as a
+// percentage of L2<->memory demand traffic (64KB SNC, LRU).
+var PaperFig9Traffic = stats.NewSeries("traffic % (paper)", Benchmarks, []float64{
+	0.32, 0.00, 0.09, 0.00, 0.05, 1.03, 0.47, 0.90, 0.18, 0.39, 0.00,
+})
+
+// PaperFig10 is Figure 10: percent slowdown with a 102-cycle crypto unit.
+var (
+	PaperFig10XOM = stats.NewSeries("XOM (paper)", Benchmarks, []float64{
+		46.95, 71.21, 32.27, 29.10, 37.36, 2.21, 70.91, 1.28, 27.32, 14.42, 43.16,
+	})
+	PaperFig10NoRepl = stats.NewSeries("SNC-NoRepl (paper)", Benchmarks, []float64{
+		8.95, 0.23, 1.82, 0.06, 36.89, 1.04, 27.30, 0.48, 14.02, 10.23, 0.24,
+	})
+	PaperFig10LRU = stats.NewSeries("SNC-LRU (paper)", Benchmarks, []float64{
+		2.72, 0.23, 0.56, 0.06, 1.38, 0.30, 6.32, 0.07, 0.94, 1.01, 0.24,
+	})
+)

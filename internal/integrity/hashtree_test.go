@@ -1,0 +1,223 @@
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newTree(t *testing.T, leaves int) *HashTree {
+	t.Helper()
+	tr, err := NewHashTree([]byte("root-key"), 128, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestHashTreeConstruction(t *testing.T) {
+	tr := newTree(t, 5) // rounds up to 8
+	if tr.Leaves() != 8 {
+		t.Errorf("leaves = %d, want 8", tr.Leaves())
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", tr.Depth())
+	}
+	if len(tr.Root()) == 0 {
+		t.Error("empty root")
+	}
+	if _, err := NewHashTree(nil, 0, 4); err == nil {
+		t.Error("zero line size accepted")
+	}
+	if _, err := NewHashTree(nil, 128, 0); err == nil {
+		t.Error("zero leaves accepted")
+	}
+}
+
+func TestVerifyFreshTree(t *testing.T) {
+	tr := newTree(t, 8)
+	zero := make([]byte, 128)
+	for i := 0; i < 8; i++ {
+		proof, err := tr.Proof(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Verify(i, zero, proof); err != nil {
+			t.Errorf("leaf %d: %v", i, err)
+		}
+	}
+}
+
+func TestUpdateChangesRoot(t *testing.T) {
+	tr := newTree(t, 8)
+	before := tr.Root()
+	if err := tr.Update(3, bytes.Repeat([]byte{9}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, tr.Root()) {
+		t.Error("root unchanged after update")
+	}
+	// The updated leaf verifies with a fresh proof.
+	proof, _ := tr.Proof(3)
+	if err := tr.Verify(3, bytes.Repeat([]byte{9}, 128), proof); err != nil {
+		t.Error(err)
+	}
+	// Other leaves still verify.
+	proof0, _ := tr.Proof(0)
+	if err := tr.Verify(0, make([]byte, 128), proof0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyDetectsWrongLine(t *testing.T) {
+	tr := newTree(t, 8)
+	proof, _ := tr.Proof(2)
+	bad := bytes.Repeat([]byte{0xFF}, 128)
+	if err := tr.Verify(2, bad, proof); !errors.Is(err, ErrTampered) {
+		t.Errorf("wrong line accepted: %v", err)
+	}
+}
+
+func TestVerifyDetectsForgedProof(t *testing.T) {
+	tr := newTree(t, 8)
+	tr.Update(1, bytes.Repeat([]byte{7}, 128))
+	proof, _ := tr.Proof(1)
+	proof[1][0] ^= 1
+	if err := tr.Verify(1, bytes.Repeat([]byte{7}, 128), proof); !errors.Is(err, ErrTampered) {
+		t.Errorf("forged proof accepted: %v", err)
+	}
+}
+
+func TestVerifyDetectsLeafSwap(t *testing.T) {
+	// The index-bound leaf hash prevents presenting leaf A's data at leaf
+	// B's position even with B's valid proof.
+	tr := newTree(t, 8)
+	a := bytes.Repeat([]byte{1}, 128)
+	b := bytes.Repeat([]byte{2}, 128)
+	tr.Update(0, a)
+	tr.Update(1, b)
+	proof1, _ := tr.Proof(1)
+	if err := tr.Verify(1, a, proof1); !errors.Is(err, ErrTampered) {
+		t.Errorf("spliced leaf accepted: %v", err)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	tr := newTree(t, 4)
+	if err := tr.Verify(99, nil, nil); err == nil {
+		t.Error("out-of-range leaf accepted")
+	}
+	if err := tr.Verify(0, make([]byte, 128), [][]byte{{1}}); err == nil {
+		t.Error("short proof accepted")
+	}
+	if err := tr.Update(99, make([]byte, 128)); err == nil {
+		t.Error("out-of-range update accepted")
+	}
+	if err := tr.Update(0, make([]byte, 4)); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := tr.Proof(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+// TestRandomizedUpdateVerify exercises interleaved updates/verifies on a
+// larger tree against a reference model.
+func TestRandomizedUpdateVerify(t *testing.T) {
+	tr := newTree(t, 64)
+	rng := rand.New(rand.NewSource(4))
+	model := make(map[int][]byte)
+	for i := 0; i < 200; i++ {
+		leaf := rng.Intn(64)
+		if rng.Intn(2) == 0 {
+			line := make([]byte, 128)
+			rng.Read(line)
+			if err := tr.Update(leaf, line); err != nil {
+				t.Fatal(err)
+			}
+			model[leaf] = line
+		} else {
+			want, ok := model[leaf]
+			if !ok {
+				want = make([]byte, 128)
+			}
+			proof, err := tr.Proof(leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Verify(leaf, want, proof); err != nil {
+				t.Fatalf("leaf %d should verify: %v", leaf, err)
+			}
+		}
+	}
+}
+
+func TestCachedVerifierSavesHashes(t *testing.T) {
+	tr := newTree(t, 64)
+	cv := NewCachedVerifier(tr, 128)
+	zero := make([]byte, 128)
+	proof, _ := tr.Proof(5)
+	if err := cv.Verify(5, zero, proof); err != nil {
+		t.Fatal(err)
+	}
+	first := cv.HashesComputed
+	// Second verification of the same leaf hits the cached path
+	// immediately.
+	if err := cv.Verify(5, zero, proof); err != nil {
+		t.Fatal(err)
+	}
+	if cv.HashesSaved == 0 {
+		t.Error("no hashes saved on repeat verification")
+	}
+	if cv.HashesComputed-first >= uint64(tr.Depth()) {
+		t.Errorf("repeat verification recomputed the full path (%d new hashes)", cv.HashesComputed-first)
+	}
+}
+
+func TestCachedVerifierDetectsTamper(t *testing.T) {
+	tr := newTree(t, 16)
+	cv := NewCachedVerifier(tr, 64)
+	zero := make([]byte, 128)
+	proof, _ := tr.Proof(3)
+	if err := cv.Verify(3, zero, proof); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered line against a cached ancestor.
+	if err := cv.Verify(3, bytes.Repeat([]byte{1}, 128), proof); !errors.Is(err, ErrTampered) {
+		t.Errorf("cached verifier accepted tampered line: %v", err)
+	}
+}
+
+func TestCachedVerifierInvalidate(t *testing.T) {
+	tr := newTree(t, 16)
+	cv := NewCachedVerifier(tr, 64)
+	zero := make([]byte, 128)
+	proof, _ := tr.Proof(7)
+	if err := cv.Verify(7, zero, proof); err != nil {
+		t.Fatal(err)
+	}
+	// Update the leaf; cached trust must be dropped before re-verifying.
+	line := bytes.Repeat([]byte{3}, 128)
+	tr.Update(7, line)
+	cv.Invalidate(7)
+	proof2, _ := tr.Proof(7)
+	if err := cv.Verify(7, line, proof2); err != nil {
+		t.Errorf("post-update verification failed: %v", err)
+	}
+}
+
+func TestCachedVerifierCapacity(t *testing.T) {
+	tr := newTree(t, 64)
+	cv := NewCachedVerifier(tr, 2) // tiny cache forces evictions
+	zero := make([]byte, 128)
+	for leaf := 0; leaf < 64; leaf += 8 {
+		proof, _ := tr.Proof(leaf)
+		if err := cv.Verify(leaf, zero, proof); err != nil {
+			t.Fatalf("leaf %d: %v", leaf, err)
+		}
+	}
+	if len(cv.cache) > 2 {
+		t.Errorf("cache grew past capacity: %d", len(cv.cache))
+	}
+}

@@ -1,0 +1,386 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates SSA-32 assembly into a binary image based at `base`.
+//
+// Syntax:
+//
+//	label:              ; define a label
+//	add r1, r2, r3      ; R-type
+//	addi r1, r2, -5     ; I-type
+//	lw  r1, 8(r2)       ; loads/stores
+//	beq r1, r2, label   ; branches take label or immediate word offset
+//	jal r31, label      ; jump and link
+//	li  r1, 0x12345678  ; pseudo: lui+ori as needed
+//	nop                 ; pseudo: add r0, r0, r0
+//	.word 42            ; literal data word
+//	.space 64           ; zero bytes
+//	.asciiz "hi"        ; NUL-terminated string
+//	# or ; comments
+//
+// Register aliases: zero(r0), ra(r31), sp(r30), a0-a3(r4-r7), t0-t7(r8-r15),
+// s0-s7(r16-r23), v0(r2).
+func Assemble(src string, base uint32) ([]byte, map[string]uint32, error) {
+	type fixup struct {
+		line    int
+		pc      uint32
+		label   string
+		op      Opcode
+		rd, rs1 int
+		li      bool // lui+ori pair materializing the label address
+	}
+	labels := make(map[string]uint32)
+	var words []uint32
+	var fixups []fixup
+
+	pc := func() uint32 { return base + uint32(4*len(words)) }
+
+	lines := strings.Split(src, "\n")
+	// First pass: emit code, remembering unresolved label references.
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		for {
+			line = strings.TrimSpace(line)
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				labels[strings.TrimSpace(line[:i])] = pc()
+				line = line[i+1:]
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		args := splitArgs(rest)
+		errf := func(format string, a ...interface{}) error {
+			return fmt.Errorf("isa: line %d: %s", ln+1, fmt.Sprintf(format, a...))
+		}
+
+		switch mnemonic {
+		case ".word":
+			for _, a := range args {
+				v, err := parseImm32(a)
+				if err != nil {
+					return nil, nil, errf("bad word %q: %v", a, err)
+				}
+				words = append(words, uint32(v))
+			}
+		case ".space":
+			if len(args) != 1 {
+				return nil, nil, errf(".space needs one size")
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 0 || n%4 != 0 {
+				return nil, nil, errf(".space needs a non-negative multiple of 4")
+			}
+			for i := 0; i < n/4; i++ {
+				words = append(words, 0)
+			}
+		case ".asciiz":
+			str, err := strconv.Unquote(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, nil, errf("bad string: %v", err)
+			}
+			bs := append([]byte(str), 0)
+			for len(bs)%4 != 0 {
+				bs = append(bs, 0)
+			}
+			for i := 0; i < len(bs); i += 4 {
+				words = append(words, uint32(bs[i])|uint32(bs[i+1])<<8|uint32(bs[i+2])<<16|uint32(bs[i+3])<<24)
+			}
+		case "nop":
+			words = append(words, EncodeAuto(Instr{Op: OpADD}))
+		case "halt":
+			words = append(words, EncodeAuto(Instr{Op: OpHALT}))
+		case "sys":
+			if len(args) != 1 {
+				return nil, nil, errf("sys needs one register")
+			}
+			r, err := parseReg(args[0])
+			if err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			words = append(words, EncodeAuto(Instr{Op: OpSYS, Rs1: r}))
+		case "li":
+			if len(args) != 2 {
+				return nil, nil, errf("li needs register, immediate")
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			if isIdent(args[1]) {
+				// Label address: emit a lui+ori pair patched in pass two.
+				fixups = append(fixups, fixup{line: ln + 1, pc: pc(), label: args[1], rd: rd, li: true})
+				words = append(words, 0, 0)
+				break
+			}
+			v, err := parseImm32(args[1])
+			if err != nil {
+				return nil, nil, errf("bad immediate %q: %v", args[1], err)
+			}
+			uv := uint32(v)
+			if uv>>16 != 0 {
+				words = append(words, EncodeAuto(Instr{Op: OpLUI, Rd: rd, Imm: int32(int16(uint16(uv >> 16)))}))
+				if uv&0xffff != 0 {
+					words = append(words, EncodeAuto(Instr{Op: OpORI, Rd: rd, Rs1: rd, Imm: int32(int16(uint16(uv)))}))
+				}
+			} else {
+				words = append(words, EncodeAuto(Instr{Op: OpORI, Rd: rd, Rs1: 0, Imm: int32(int16(uint16(uv)))}))
+			}
+		case "mv":
+			if len(args) != 2 {
+				return nil, nil, errf("mv needs two registers")
+			}
+			rd, err1 := parseReg(args[0])
+			rs, err2 := parseReg(args[1])
+			if err1 != nil || err2 != nil {
+				return nil, nil, errf("bad registers")
+			}
+			words = append(words, EncodeAuto(Instr{Op: OpADD, Rd: rd, Rs1: rs}))
+		default:
+			op, ok := mnemonicOp(mnemonic)
+			if !ok {
+				return nil, nil, errf("unknown mnemonic %q", mnemonic)
+			}
+			switch {
+			case op.IsRType():
+				if len(args) != 3 {
+					return nil, nil, errf("%s needs rd, rs1, rs2", mnemonic)
+				}
+				rd, e1 := parseReg(args[0])
+				rs1, e2 := parseReg(args[1])
+				rs2, e3 := parseReg(args[2])
+				if e1 != nil || e2 != nil || e3 != nil {
+					return nil, nil, errf("bad register in %q", rest)
+				}
+				words = append(words, EncodeAuto(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}))
+			case op == OpLW || op == OpLB || op == OpLBU || op == OpSW || op == OpSB:
+				if len(args) != 2 {
+					return nil, nil, errf("%s needs reg, off(reg)", mnemonic)
+				}
+				rd, err := parseReg(args[0])
+				if err != nil {
+					return nil, nil, errf("%v", err)
+				}
+				off, rs1, err := parseMemOperand(args[1])
+				if err != nil {
+					return nil, nil, errf("%v", err)
+				}
+				words = append(words, EncodeAuto(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: off}))
+			case op == OpBEQ || op == OpBNE || op == OpBLT || op == OpBGE:
+				if len(args) != 3 {
+					return nil, nil, errf("%s needs two regs and a target", mnemonic)
+				}
+				rd, e1 := parseReg(args[0])
+				rs1, e2 := parseReg(args[1])
+				if e1 != nil || e2 != nil {
+					return nil, nil, errf("bad register in %q", rest)
+				}
+				if isIdent(args[2]) {
+					fixups = append(fixups, fixup{line: ln + 1, pc: pc(), label: args[2], op: op, rd: rd, rs1: rs1})
+					words = append(words, 0)
+				} else {
+					v, err := parseImm32(args[2])
+					if err != nil {
+						return nil, nil, errf("bad branch offset: %v", err)
+					}
+					words = append(words, EncodeAuto(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: v}))
+				}
+			case op == OpJAL:
+				if len(args) != 2 {
+					return nil, nil, errf("jal needs rd, target")
+				}
+				rd, err := parseReg(args[0])
+				if err != nil {
+					return nil, nil, errf("%v", err)
+				}
+				if isIdent(args[1]) {
+					fixups = append(fixups, fixup{line: ln + 1, pc: pc(), label: args[1], op: op, rd: rd})
+					words = append(words, 0)
+				} else {
+					v, err := parseImm32(args[1])
+					if err != nil {
+						return nil, nil, errf("bad jump offset: %v", err)
+					}
+					words = append(words, EncodeAuto(Instr{Op: op, Rd: rd, Imm: v}))
+				}
+			default: // I-type arithmetic + jalr + lui
+				if len(args) != 3 && !(op == OpLUI && len(args) == 2) {
+					return nil, nil, errf("%s needs rd, rs1, imm", mnemonic)
+				}
+				rd, err := parseReg(args[0])
+				if err != nil {
+					return nil, nil, errf("%v", err)
+				}
+				rs1 := 0
+				immArg := args[len(args)-1]
+				if len(args) == 3 {
+					rs1, err = parseReg(args[1])
+					if err != nil {
+						return nil, nil, errf("%v", err)
+					}
+				}
+				v, err := parseImm32(immArg)
+				if err != nil {
+					return nil, nil, errf("bad immediate %q: %v", immArg, err)
+				}
+				words = append(words, EncodeAuto(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: v}))
+			}
+		}
+	}
+
+	// Second pass: resolve label fixups to word offsets relative to pc+4.
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		if f.li {
+			idx := (f.pc - base) / 4
+			words[idx] = EncodeAuto(Instr{Op: OpLUI, Rd: f.rd, Imm: int32(int16(uint16(target >> 16)))})
+			words[idx+1] = EncodeAuto(Instr{Op: OpORI, Rd: f.rd, Rs1: f.rd, Imm: int32(int16(uint16(target)))})
+			continue
+		}
+		var imm int32
+		if f.op == OpJAL || f.op == OpBEQ || f.op == OpBNE || f.op == OpBLT || f.op == OpBGE {
+			imm = (int32(target) - int32(f.pc) - 4) / 4
+		} else {
+			imm = int32(target)
+		}
+		if imm < -32768 || imm > 32767 {
+			return nil, nil, fmt.Errorf("isa: line %d: branch to %q out of range (%d words)", f.line, f.label, imm)
+		}
+		idx := (f.pc - base) / 4
+		words[idx] = EncodeAuto(Instr{Op: f.op, Rd: f.rd, Rs1: f.rs1, Imm: imm})
+	}
+
+	out := make([]byte, 4*len(words))
+	for i, w := range words {
+		out[4*i] = byte(w)
+		out[4*i+1] = byte(w >> 8)
+		out[4*i+2] = byte(w >> 16)
+		out[4*i+3] = byte(w >> 24)
+	}
+	return out, labels, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		// Keep quoted strings intact for .asciiz.
+		if q := strings.Index(line, `"`); q < 0 || q > i {
+			return line[:i]
+		}
+		if e := strings.LastIndex(line, `"`); e >= 0 {
+			if j := strings.IndexAny(line[e:], "#;"); j >= 0 {
+				return line[:e+j]
+			}
+		}
+	}
+	return line
+}
+
+func splitArgs(rest string) []string {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+var regAliases = map[string]int{
+	"zero": 0, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"sp": 30, "ra": 31,
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := regAliases[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("isa: bad register %q", s)
+}
+
+func parseImm32(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMemOperand parses "off(reg)".
+func parseMemOperand(s string) (int32, int, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("isa: bad memory operand %q", s)
+	}
+	off := int32(0)
+	if open > 0 {
+		v, err := parseImm32(s[:open])
+		if err != nil {
+			return 0, 0, fmt.Errorf("isa: bad offset in %q: %v", s, err)
+		}
+		off = v
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Bare register names are not labels.
+	if _, err := parseReg(s); err == nil {
+		return false
+	}
+	return true
+}
+
+func mnemonicOp(m string) (Opcode, bool) {
+	for op, name := range opNames {
+		if name == m {
+			return op, true
+		}
+	}
+	return 0, false
+}

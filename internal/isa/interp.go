@@ -1,0 +1,271 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+)
+
+// Bus is the interpreter's view of memory. internal/xom provides an
+// implementation that decrypts through the secure memory path; FlatBus is a
+// plain in-package implementation for tests and unprotected runs.
+type Bus interface {
+	// Fetch32 reads an instruction word (instruction address space).
+	Fetch32(addr uint32) (uint32, error)
+	// Load32/Load8 read data.
+	Load32(addr uint32) (uint32, error)
+	Load8(addr uint32) (byte, error)
+	// Store32/Store8 write data.
+	Store32(addr uint32, v uint32) error
+	Store8(addr uint32, v byte) error
+}
+
+// FlatBus is a simple sparse memory bus (no protection).
+type FlatBus struct {
+	pages map[uint32][]byte
+}
+
+// NewFlatBus returns an empty flat memory.
+func NewFlatBus() *FlatBus { return &FlatBus{pages: make(map[uint32][]byte)} }
+
+func (b *FlatBus) page(addr uint32, create bool) ([]byte, uint32) {
+	pn := addr >> 12
+	p, ok := b.pages[pn]
+	if !ok && create {
+		p = make([]byte, 1<<12)
+		b.pages[pn] = p
+	}
+	return p, addr & 0xfff
+}
+
+// LoadImage copies data into memory at base.
+func (b *FlatBus) LoadImage(base uint32, data []byte) {
+	for i, v := range data {
+		p, off := b.page(base+uint32(i), true)
+		p[off] = v
+	}
+}
+
+// Fetch32 implements Bus.
+func (b *FlatBus) Fetch32(addr uint32) (uint32, error) { return b.Load32(addr) }
+
+// Load32 implements Bus.
+func (b *FlatBus) Load32(addr uint32) (uint32, error) {
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		p, off := b.page(addr+i, false)
+		var byt byte
+		if p != nil {
+			byt = p[off]
+		}
+		v |= uint32(byt) << (8 * i)
+	}
+	return v, nil
+}
+
+// Load8 implements Bus.
+func (b *FlatBus) Load8(addr uint32) (byte, error) {
+	p, off := b.page(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	return p[off], nil
+}
+
+// Store32 implements Bus.
+func (b *FlatBus) Store32(addr uint32, v uint32) error {
+	for i := uint32(0); i < 4; i++ {
+		p, off := b.page(addr+i, true)
+		p[off] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// Store8 implements Bus.
+func (b *FlatBus) Store8(addr uint32, v byte) error {
+	p, off := b.page(addr, true)
+	p[off] = v
+	return nil
+}
+
+// CPU is the SSA-32 functional interpreter.
+type CPU struct {
+	PC   uint32
+	Regs [32]uint32
+	Bus  Bus
+	// Console receives SysPutChar/SysPutInt output (may be nil).
+	Console io.Writer
+
+	// Halted is set by HALT or SysExit.
+	Halted bool
+	// ExitCode is valid once Halted.
+	ExitCode uint32
+	// InstrRetired counts executed instructions.
+	InstrRetired uint64
+}
+
+// NewCPU creates an interpreter over the given bus starting at entry.
+func NewCPU(bus Bus, entry uint32) *CPU {
+	return &CPU{PC: entry, Bus: bus}
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return fmt.Errorf("isa: cpu is halted")
+	}
+	w, err := c.Bus.Fetch32(c.PC)
+	if err != nil {
+		return fmt.Errorf("isa: fetch at %#x: %w", c.PC, err)
+	}
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Errorf("isa: at %#x: %w", c.PC, err)
+	}
+	next := c.PC + 4
+	rd, rs1 := &c.Regs[in.Rd], c.Regs[in.Rs1]
+	rs2 := c.Regs[in.Rs2]
+	imm := uint32(in.Imm)
+
+	switch in.Op {
+	case OpHALT:
+		c.Halted = true
+	case OpADD:
+		*rd = rs1 + rs2
+	case OpSUB:
+		*rd = rs1 - rs2
+	case OpAND:
+		*rd = rs1 & rs2
+	case OpOR:
+		*rd = rs1 | rs2
+	case OpXOR:
+		*rd = rs1 ^ rs2
+	case OpSLL:
+		*rd = rs1 << (rs2 & 31)
+	case OpSRL:
+		*rd = rs1 >> (rs2 & 31)
+	case OpSRA:
+		*rd = uint32(int32(rs1) >> (rs2 & 31))
+	case OpSLT:
+		*rd = b2u(int32(rs1) < int32(rs2))
+	case OpSLTU:
+		*rd = b2u(rs1 < rs2)
+	case OpMUL:
+		*rd = rs1 * rs2
+	case OpADDI:
+		*rd = rs1 + imm
+	case OpANDI:
+		*rd = rs1 & uint32(uint16(in.Imm))
+	case OpORI:
+		*rd = rs1 | uint32(uint16(in.Imm))
+	case OpXORI:
+		*rd = rs1 ^ uint32(uint16(in.Imm))
+	case OpSLTI:
+		*rd = b2u(int32(rs1) < in.Imm)
+	case OpSLLI:
+		*rd = rs1 << (imm & 31)
+	case OpSRLI:
+		*rd = rs1 >> (imm & 31)
+	case OpLUI:
+		*rd = uint32(uint16(in.Imm)) << 16
+	case OpLW:
+		v, err := c.Bus.Load32(rs1 + imm)
+		if err != nil {
+			return err
+		}
+		*rd = v
+	case OpLB:
+		v, err := c.Bus.Load8(rs1 + imm)
+		if err != nil {
+			return err
+		}
+		*rd = uint32(int32(int8(v)))
+	case OpLBU:
+		v, err := c.Bus.Load8(rs1 + imm)
+		if err != nil {
+			return err
+		}
+		*rd = uint32(v)
+	case OpSW:
+		if err := c.Bus.Store32(rs1+imm, c.Regs[in.Rd]); err != nil {
+			return err
+		}
+	case OpSB:
+		if err := c.Bus.Store8(rs1+imm, byte(c.Regs[in.Rd])); err != nil {
+			return err
+		}
+	case OpBEQ:
+		if c.Regs[in.Rd] == rs1 {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpBNE:
+		if c.Regs[in.Rd] != rs1 {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpBLT:
+		if int32(c.Regs[in.Rd]) < int32(rs1) {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpBGE:
+		if int32(c.Regs[in.Rd]) >= int32(rs1) {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpJAL:
+		c.Regs[in.Rd] = c.PC + 4
+		next = c.PC + 4 + uint32(in.Imm)*4
+	case OpJALR:
+		c.Regs[in.Rd] = c.PC + 4
+		next = rs1 + imm
+	case OpSYS:
+		if err := c.syscall(rs1); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("isa: unimplemented opcode %v at %#x", in.Op, c.PC)
+	}
+	c.Regs[0] = 0 // r0 is hardwired zero
+	c.InstrRetired++
+	if !c.Halted {
+		c.PC = next
+	}
+	return nil
+}
+
+func (c *CPU) syscall(service uint32) error {
+	a0 := c.Regs[4]
+	switch service {
+	case SysExit:
+		c.Halted = true
+		c.ExitCode = a0
+	case SysPutChar:
+		if c.Console != nil {
+			fmt.Fprintf(c.Console, "%c", byte(a0))
+		}
+	case SysPutInt:
+		if c.Console != nil {
+			fmt.Fprintf(c.Console, "%d", int32(a0))
+		}
+	default:
+		return fmt.Errorf("isa: unknown syscall %d at %#x", service, c.PC)
+	}
+	return nil
+}
+
+// Run executes until halt or maxInstrs, returning an error on traps.
+func (c *CPU) Run(maxInstrs uint64) error {
+	for !c.Halted {
+		if c.InstrRetired >= maxInstrs {
+			return fmt.Errorf("isa: instruction budget %d exhausted at pc=%#x", maxInstrs, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

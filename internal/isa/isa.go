@@ -1,0 +1,182 @@
+// Package isa defines SSA-32 ("simple secure architecture"), a small 32-bit
+// RISC ISA with an assembler and a functional interpreter.
+//
+// The paper's end-to-end story (Section 2.1) needs real programs: a vendor
+// encrypts machine code under a symmetric key, ships it with the key
+// wrapped under the processor's public key, and the processor decrypts
+// instructions as it fetches them. This package supplies the machine those
+// programs run on; internal/xom supplies the vendor packaging, key
+// unwrapping and the secure fetch path.
+//
+// Encoding (32-bit fixed width, little-endian in memory):
+//
+//	[31:26] opcode  [25:21] rd  [20:16] rs1  [15:11] rs2  [15:0] imm16
+//
+// R-type ops use rd/rs1/rs2; I-type use rd/rs1/imm16 (sign-extended unless
+// noted); branches compare rd(!)/rs1 and jump by imm16 words.
+package isa
+
+import "fmt"
+
+// Opcode is the 6-bit major opcode.
+type Opcode uint8
+
+// The SSA-32 instruction set.
+const (
+	OpHALT Opcode = iota // stop execution
+	OpADD                // rd = rs1 + rs2
+	OpSUB                // rd = rs1 - rs2
+	OpAND                // rd = rs1 & rs2
+	OpOR                 // rd = rs1 | rs2
+	OpXOR                // rd = rs1 ^ rs2
+	OpSLL                // rd = rs1 << (rs2 & 31)
+	OpSRL                // rd = rs1 >> (rs2 & 31) logical
+	OpSRA                // rd = rs1 >> (rs2 & 31) arithmetic
+	OpSLT                // rd = signed(rs1) < signed(rs2)
+	OpSLTU               // rd = rs1 < rs2 unsigned
+	OpMUL                // rd = rs1 * rs2 (low 32 bits)
+
+	OpADDI // rd = rs1 + imm
+	OpANDI // rd = rs1 & uimm
+	OpORI  // rd = rs1 | uimm
+	OpXORI // rd = rs1 ^ uimm
+	OpSLTI // rd = signed(rs1) < imm
+	OpSLLI // rd = rs1 << imm
+	OpSRLI // rd = rs1 >> imm
+	OpLUI  // rd = imm << 16
+
+	OpLW  // rd = mem32[rs1 + imm]
+	OpLB  // rd = sx(mem8[rs1 + imm])
+	OpLBU // rd = zx(mem8[rs1 + imm])
+	OpSW  // mem32[rs1 + imm] = rd
+	OpSB  // mem8[rs1 + imm] = rd
+
+	OpBEQ  // if rd == rs1: pc += imm*4
+	OpBNE  // if rd != rs1: pc += imm*4
+	OpBLT  // if signed(rd) < signed(rs1): pc += imm*4
+	OpBGE  // if signed(rd) >= signed(rs1): pc += imm*4
+	OpJAL  // rd = pc+4; pc += imm*4
+	OpJALR // rd = pc+4; pc = rs1 + imm
+
+	OpSYS // system call: service in rs1 value, arg in a0
+
+	numOpcodes
+)
+
+var opNames = map[Opcode]string{
+	OpHALT: "halt", OpADD: "add", OpSUB: "sub", OpAND: "and", OpOR: "or",
+	OpXOR: "xor", OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpSLT: "slt",
+	OpSLTU: "sltu", OpMUL: "mul",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLTI: "slti", OpSLLI: "slli", OpSRLI: "srli", OpLUI: "lui",
+	OpLW: "lw", OpLB: "lb", OpLBU: "lbu", OpSW: "sw", OpSB: "sb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpJAL: "jal", OpJALR: "jalr", OpSYS: "sys",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// System call services (value of rs1 register for OpSYS).
+const (
+	// SysExit terminates the program; a0 is the exit code.
+	SysExit = 0
+	// SysPutChar writes the low byte of a0 to the console.
+	SysPutChar = 1
+	// SysPutInt writes a0 as a signed decimal to the console.
+	SysPutInt = 2
+)
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op       Opcode
+	Rd       int
+	Rs1, Rs2 int
+	Imm      int32 // sign-extended 16-bit immediate
+}
+
+// Encode packs the instruction into its 32-bit representation.
+func (in Instr) Encode() uint32 {
+	return uint32(in.Op)<<26 |
+		uint32(in.Rd&31)<<21 |
+		uint32(in.Rs1&31)<<16 |
+		uint32(uint16(in.Imm))
+}
+
+// EncodeR packs an R-type instruction (rs2 overlays the imm field's top
+// bits).
+func (in Instr) encodeR() uint32 {
+	return uint32(in.Op)<<26 |
+		uint32(in.Rd&31)<<21 |
+		uint32(in.Rs1&31)<<16 |
+		uint32(in.Rs2&31)<<11
+}
+
+// IsRType reports whether the opcode uses the rs2 field.
+func (o Opcode) IsRType() bool {
+	switch o {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpSLT, OpSLTU, OpMUL:
+		return true
+	}
+	return false
+}
+
+// EncodeAuto picks the right packing for the opcode.
+func EncodeAuto(in Instr) uint32 {
+	if in.Op.IsRType() {
+		return in.encodeR()
+	}
+	return in.Encode()
+}
+
+// Decode unpacks a 32-bit word.
+func Decode(w uint32) (Instr, error) {
+	op := Opcode(w >> 26)
+	if op >= numOpcodes {
+		return Instr{}, fmt.Errorf("isa: illegal opcode %d in %#08x", op, w)
+	}
+	in := Instr{
+		Op:  op,
+		Rd:  int(w >> 21 & 31),
+		Rs1: int(w >> 16 & 31),
+	}
+	if op.IsRType() {
+		in.Rs2 = int(w >> 11 & 31)
+	} else {
+		in.Imm = int32(int16(uint16(w)))
+	}
+	return in, nil
+}
+
+// Disassemble renders one instruction as assembly text.
+func Disassemble(w uint32) string {
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word %#08x", w)
+	}
+	switch {
+	case in.Op == OpHALT:
+		return "halt"
+	case in.Op == OpSYS:
+		return fmt.Sprintf("sys r%d", in.Rs1)
+	case in.Op.IsRType():
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case in.Op == OpLUI:
+		return fmt.Sprintf("lui r%d, %d", in.Rd, in.Imm)
+	case in.Op == OpJAL:
+		return fmt.Sprintf("jal r%d, %d", in.Rd, in.Imm)
+	case in.Op == OpLW || in.Op == OpLB || in.Op == OpLBU:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op == OpSW || in.Op == OpSB:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op == OpBEQ || in.Op == OpBNE || in.Op == OpBLT || in.Op == OpBGE:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	}
+}

@@ -1,0 +1,364 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpADDI, Rd: 31, Rs1: 30, Imm: -1},
+		{Op: OpLW, Rd: 5, Rs1: 6, Imm: 1024},
+		{Op: OpBEQ, Rd: 7, Rs1: 8, Imm: -200},
+		{Op: OpLUI, Rd: 9, Imm: 0x7fff},
+		{Op: OpHALT},
+		{Op: OpSYS, Rs1: 4},
+	}
+	for i, in := range cases {
+		w := EncodeAuto(in)
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Op != in.Op || got.Rd != in.Rd || got.Rs1 != in.Rs1 {
+			t.Errorf("case %d: got %+v want %+v", i, got, in)
+		}
+		if in.Op.IsRType() && got.Rs2 != in.Rs2 {
+			t.Errorf("case %d: rs2 %d != %d", i, got.Rs2, in.Rs2)
+		}
+		if !in.Op.IsRType() && got.Imm != in.Imm {
+			t.Errorf("case %d: imm %d != %d", i, got.Imm, in.Imm)
+		}
+	}
+}
+
+func TestDecodeIllegalOpcode(t *testing.T) {
+	if _, err := Decode(0xFFFFFFFF); err == nil {
+		t.Error("opcode 63 should be illegal")
+	}
+}
+
+// TestDecodeQuick: every R-type encode/decode round trip is lossless.
+func TestDecodeQuick(t *testing.T) {
+	f := func(rd, rs1, rs2 uint8, imm int16) bool {
+		in := Instr{Op: OpXOR, Rd: int(rd & 31), Rs1: int(rs1 & 31), Rs2: int(rs2 & 31)}
+		got, err := Decode(EncodeAuto(in))
+		if err != nil || got != in {
+			return false
+		}
+		in2 := Instr{Op: OpADDI, Rd: int(rd & 31), Rs1: int(rs1 & 31), Imm: int32(imm)}
+		got2, err := Decode(EncodeAuto(in2))
+		return err == nil && got2 == in2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := map[uint32]string{
+		EncodeAuto(Instr{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}):  "add r1, r2, r3",
+		EncodeAuto(Instr{Op: OpLW, Rd: 4, Rs1: 5, Imm: 8}):   "lw r4, 8(r5)",
+		EncodeAuto(Instr{Op: OpHALT}):                        "halt",
+		EncodeAuto(Instr{Op: OpBEQ, Rd: 1, Rs1: 0, Imm: -4}): "beq r1, r0, -4",
+	}
+	for w, want := range cases {
+		if got := Disassemble(w); got != want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func run(t *testing.T, src string, maxInstr uint64) *CPU {
+	t.Helper()
+	bin, _, err := Assemble(src, 0x1000)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	bus := NewFlatBus()
+	bus.LoadImage(0x1000, bin)
+	cpu := NewCPU(bus, 0x1000)
+	cpu.Console = &bytes.Buffer{}
+	if err := cpu.Run(maxInstr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu
+}
+
+func TestArithmetic(t *testing.T) {
+	cpu := run(t, `
+		li   r1, 10
+		li   r2, 32
+		add  r3, r1, r2     # 42
+		sub  r4, r2, r1     # 22
+		mul  r5, r1, r2     # 320
+		slt  r6, r1, r2     # 1
+		sltu r7, r2, r1     # 0
+		halt
+	`, 100)
+	want := map[int]uint32{3: 42, 4: 22, 5: 320, 6: 1, 7: 0}
+	for r, v := range want {
+		if cpu.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, cpu.Regs[r], v)
+		}
+	}
+}
+
+func TestShiftsAndLogic(t *testing.T) {
+	cpu := run(t, `
+		li   r1, 0xF0
+		slli r2, r1, 4      # 0xF00
+		srli r3, r1, 4      # 0x0F
+		li   r4, -16
+		li   r5, 2
+		sra  r6, r4, r5     # -4
+		xori r7, r1, 0xFF   # 0x0F
+		andi r8, r1, 0x3C   # 0x30
+	 	ori  r9, r1, 0x0F   # 0xFF
+		halt
+	`, 100)
+	want := map[int]uint32{2: 0xF00, 3: 0x0F, 6: 0xFFFFFFFC, 7: 0x0F, 8: 0x30, 9: 0xFF}
+	for r, v := range want {
+		if cpu.Regs[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, cpu.Regs[r], v)
+		}
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	cpu := run(t, `
+		li  r1, 0x2000
+		li  r2, 0xDEADBEEF
+		sw  r2, 0(r1)
+		lw  r3, 0(r1)
+		lb  r4, 3(r1)       # 0xDE sign-extended
+		lbu r5, 3(r1)       # 0xDE zero-extended
+		li  r6, 0x7F
+		sb  r6, 1(r1)
+		lw  r7, 0(r1)       # 0xDEAD7FEF
+		halt
+	`, 100)
+	if cpu.Regs[3] != 0xDEADBEEF {
+		t.Errorf("lw: %#x", cpu.Regs[3])
+	}
+	if cpu.Regs[4] != 0xFFFFFFDE {
+		t.Errorf("lb: %#x", cpu.Regs[4])
+	}
+	if cpu.Regs[5] != 0xDE {
+		t.Errorf("lbu: %#x", cpu.Regs[5])
+	}
+	if cpu.Regs[7] != 0xDEAD7FEF {
+		t.Errorf("sb: %#x", cpu.Regs[7])
+	}
+}
+
+func TestFibonacciLoop(t *testing.T) {
+	// fib(20) = 6765 via iterative loop with branches.
+	cpu := run(t, `
+		li   r1, 20        # n
+		li   r2, 0         # a
+		li   r3, 1         # b
+	loop:
+		beq  r1, r0, done
+		add  r4, r2, r3
+		mv   r2, r3
+		mv   r3, r4
+		addi r1, r1, -1
+		jal  r0, loop
+	done:
+		halt
+	`, 1000)
+	if cpu.Regs[2] != 6765 {
+		t.Errorf("fib(20) = %d, want 6765", cpu.Regs[2])
+	}
+}
+
+func TestFunctionCallAndStack(t *testing.T) {
+	// Recursive sum 1..10 via jal/jalr with a stack.
+	cpu := run(t, `
+		li   sp, 0x8000
+		li   a0, 10
+		jal  ra, sum
+		sys  r0            # unreachable marker replaced below
+		halt
+	sum:                    # sum(n) = n + sum(n-1); sum(0)=0
+		beq  a0, r0, base
+		addi sp, sp, -8
+		sw   ra, 0(sp)
+		sw   a0, 4(sp)
+		addi a0, a0, -1
+		jal  ra, sum
+		lw   a0, 4(sp)
+		lw   ra, 0(sp)
+		addi sp, sp, 8
+		add  v0, v0, a0
+		jalr r0, ra, 0
+	base:
+		li   v0, 0
+		jalr r0, ra, 0
+	`, 10000)
+	if cpu.Regs[2] != 55 {
+		t.Errorf("sum(1..10) = %d, want 55", cpu.Regs[2])
+	}
+	if cpu.ExitCode != 10 {
+		t.Errorf("exit code = %d, want 10 (a0 at sys exit)", cpu.ExitCode)
+	}
+}
+
+func TestConsoleOutput(t *testing.T) {
+	bin, _, err := Assemble(`
+		li  a0, 72          # 'H'
+		li  r1, 1
+		sys r1
+		li  a0, 105         # 'i'
+		sys r1
+		li  a0, -42
+		li  r1, 2
+		sys r1
+		halt
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewFlatBus()
+	bus.LoadImage(0, bin)
+	cpu := NewCPU(bus, 0)
+	var out bytes.Buffer
+	cpu.Console = &out
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "Hi-42" {
+		t.Errorf("console = %q, want %q", out.String(), "Hi-42")
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	bin, labels, err := Assemble(`
+	start:
+		lw   r1, 0(r2)
+	table:
+		.word 1, 2, 3
+	msg:
+		.asciiz "ok"
+	buf:
+		.space 8
+	`, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["table"] != 0x104 || labels["msg"] != 0x110 || labels["buf"] != 0x114 {
+		t.Errorf("labels: %v", labels)
+	}
+	if len(bin) != 0x1c-0x100+0x100 {
+		t.Errorf("image size %d", len(bin))
+	}
+	if bin[labels["msg"]-0x100] != 'o' || bin[labels["msg"]-0x100+1] != 'k' {
+		t.Error("asciiz content wrong")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r1, r2",
+		"add r1, r2",      // missing operand
+		"addi r99, r0, 1", // bad register
+		"beq r1, r2, nowhere",
+		"lw r1, r2", // bad memory operand
+		".space 3",  // not multiple of 4
+		"li r1",     // missing immediate
+	}
+	for _, src := range bad {
+		if _, _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	cpu := run(t, `
+		li  r0, 99
+		add r1, r0, r0
+		halt
+	`, 10)
+	if cpu.Regs[0] != 0 || cpu.Regs[1] != 0 {
+		t.Error("r0 must stay zero")
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	bin, _, err := Assemble("loop: jal r0, loop", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewFlatBus()
+	bus.LoadImage(0, bin)
+	cpu := NewCPU(bus, 0)
+	if err := cpu.Run(100); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("infinite loop should exhaust budget, got %v", err)
+	}
+}
+
+func TestHaltedCPURefusesStep(t *testing.T) {
+	cpu := run(t, "halt", 10)
+	if err := cpu.Step(); err == nil {
+		t.Error("stepping a halted CPU should fail")
+	}
+}
+
+// TestDisassembleAssembleRoundTrip: for every opcode, disassembling an
+// encoded instruction and re-assembling the text reproduces the word.
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	samples := []Instr{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpAND, Rd: 7, Rs1: 8, Rs2: 9},
+		{Op: OpOR, Rd: 10, Rs1: 11, Rs2: 12},
+		{Op: OpXOR, Rd: 13, Rs1: 14, Rs2: 15},
+		{Op: OpSLL, Rd: 16, Rs1: 17, Rs2: 18},
+		{Op: OpSRL, Rd: 19, Rs1: 20, Rs2: 21},
+		{Op: OpSRA, Rd: 22, Rs1: 23, Rs2: 24},
+		{Op: OpSLT, Rd: 25, Rs1: 26, Rs2: 27},
+		{Op: OpSLTU, Rd: 28, Rs1: 29, Rs2: 30},
+		{Op: OpMUL, Rd: 31, Rs1: 1, Rs2: 2},
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: -100},
+		{Op: OpANDI, Rd: 3, Rs1: 4, Imm: 0xFF},
+		{Op: OpORI, Rd: 5, Rs1: 6, Imm: 0x7F},
+		{Op: OpXORI, Rd: 7, Rs1: 8, Imm: 1},
+		{Op: OpSLTI, Rd: 9, Rs1: 10, Imm: -1},
+		{Op: OpSLLI, Rd: 11, Rs1: 12, Imm: 5},
+		{Op: OpSRLI, Rd: 13, Rs1: 14, Imm: 9},
+		{Op: OpLUI, Rd: 15, Imm: 0x1234},
+		{Op: OpLW, Rd: 16, Rs1: 17, Imm: 64},
+		{Op: OpLB, Rd: 18, Rs1: 19, Imm: -8},
+		{Op: OpLBU, Rd: 20, Rs1: 21, Imm: 3},
+		{Op: OpSW, Rd: 22, Rs1: 23, Imm: 100},
+		{Op: OpSB, Rd: 24, Rs1: 25, Imm: -1},
+		{Op: OpBEQ, Rd: 1, Rs1: 2, Imm: 10},
+		{Op: OpBNE, Rd: 3, Rs1: 4, Imm: -10},
+		{Op: OpBLT, Rd: 5, Rs1: 6, Imm: 100},
+		{Op: OpBGE, Rd: 7, Rs1: 8, Imm: -100},
+		{Op: OpJAL, Rd: 31, Imm: 50},
+		{Op: OpJALR, Rd: 1, Rs1: 31, Imm: 0},
+		{Op: OpSYS, Rs1: 4},
+		{Op: OpHALT},
+	}
+	for _, in := range samples {
+		w := EncodeAuto(in)
+		text := Disassemble(w)
+		bin, _, err := Assemble(text, 0)
+		if err != nil {
+			t.Fatalf("%s: reassembly failed: %v", text, err)
+		}
+		if len(bin) != 4 {
+			t.Fatalf("%s: got %d bytes", text, len(bin))
+		}
+		got := uint32(bin[0]) | uint32(bin[1])<<8 | uint32(bin[2])<<16 | uint32(bin[3])<<24
+		if got != w {
+			t.Errorf("%s: round trip %#08x != %#08x", text, got, w)
+		}
+	}
+}

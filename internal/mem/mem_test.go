@@ -1,0 +1,251 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultDRAMConfig(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	if cfg.AccessLatency != 100 || cfg.BusCyclesPerLine != 8 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (DRAMConfig{}).Validate(); err == nil {
+		t.Error("zero config should be invalid")
+	}
+	if err := (DRAMConfig{AccessLatency: 100}).Validate(); err == nil {
+		t.Error("zero bus cycles should be invalid")
+	}
+}
+
+func TestBusReadLatency(t *testing.T) {
+	b := NewBus(DefaultDRAMConfig())
+	if done := b.Read(0, SrcLineFill); done != 108 {
+		t.Errorf("Read(0) = %d, want 108 (100 latency + 8 transfer)", done)
+	}
+	if b.Transactions[SrcLineFill] != 1 {
+		t.Error("line fill not counted")
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	b := NewBus(DefaultDRAMConfig())
+	d1 := b.Read(0, SrcLineFill)   // bus 0..8
+	d2 := b.Read(0, SrcLineFill)   // bus 8..16
+	d3 := b.Write(0, SrcWriteback) // waits for in-progress reads, then 8 cycles
+	if d1 != 108 || d2 != 116 || d3 != 24 {
+		t.Errorf("got %d,%d,%d want 108,116,24", d1, d2, d3)
+	}
+	// A later demand read is NOT delayed by the deferred write (writes
+	// steal idle cycles rather than reserving slots).
+	if d4 := b.Read(16, SrcLineFill); d4 != 16+108 {
+		t.Errorf("read after write = %d, want 124", d4)
+	}
+	if b.BusyCycles != 32 {
+		t.Errorf("BusyCycles = %d, want 32 (3 transfers + trailing read)", b.BusyCycles)
+	}
+}
+
+func TestBusTrafficAccounting(t *testing.T) {
+	b := NewBus(DefaultDRAMConfig())
+	b.Read(0, SrcLineFill)
+	b.Write(0, SrcWriteback)
+	b.Read(0, SrcSeqNumFetch)
+	b.Write(0, SrcSeqNumSpill)
+	if b.TotalTransactions() != 4 {
+		t.Errorf("total = %d", b.TotalTransactions())
+	}
+	if b.DemandTransactions() != 2 {
+		t.Errorf("demand = %d", b.DemandTransactions())
+	}
+	if b.SNCTransactions() != 2 {
+		t.Errorf("snc = %d", b.SNCTransactions())
+	}
+	b.ResetStats()
+	if b.TotalTransactions() != 0 || b.BusyCycles != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestTrafficSourceString(t *testing.T) {
+	names := map[TrafficSource]string{
+		SrcLineFill:       "linefill",
+		SrcWriteback:      "writeback",
+		SrcSeqNumFetch:    "seqnum-fetch",
+		SrcSeqNumSpill:    "seqnum-spill",
+		TrafficSource(99): "unknown",
+	}
+	for src, want := range names {
+		if got := src.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestWriteBufferNoStallWhenEmpty(t *testing.T) {
+	b := NewBus(DefaultDRAMConfig())
+	w := NewWriteBuffer(4)
+	free := w.Insert(10, 10, func(start uint64) uint64 { return b.Write(start, SrcWriteback) })
+	if free != 10 {
+		t.Errorf("cpuFree = %d, want 10 (no stall)", free)
+	}
+	if w.Inserted != 1 {
+		t.Error("insert not counted")
+	}
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	// Drains take 1000 cycles each; depth 2. The third insert at t=0 must
+	// wait for the first drain.
+	w := NewWriteBuffer(2)
+	slow := func(start uint64) uint64 { return start + 1000 }
+	w.Insert(0, 0, slow) // drains at 1000
+	w.Insert(0, 0, slow) // drains at 2000 (sequenced by caller's bus; here both 1000)
+	free := w.Insert(0, 0, slow)
+	if free != 1000 {
+		t.Errorf("cpuFree = %d, want 1000", free)
+	}
+	if w.FullStalls != 1 {
+		t.Errorf("FullStalls = %d, want 1", w.FullStalls)
+	}
+}
+
+func TestWriteBufferRetiresDrained(t *testing.T) {
+	w := NewWriteBuffer(1)
+	fast := func(start uint64) uint64 { return start + 5 }
+	w.Insert(0, 0, fast) // drains at 5
+	// At t=100 the previous entry has drained; no stall.
+	if free := w.Insert(100, 100, fast); free != 100 {
+		t.Errorf("cpuFree = %d, want 100", free)
+	}
+	if w.FullStalls != 0 {
+		t.Error("unexpected stall")
+	}
+}
+
+func TestWriteBufferOccupancy(t *testing.T) {
+	w := NewWriteBuffer(4)
+	w.Insert(0, 0, func(start uint64) uint64 { return start + 50 })
+	w.Insert(0, 0, func(start uint64) uint64 { return start + 70 })
+	if got := w.Occupancy(60); got != 1 {
+		t.Errorf("Occupancy(60) = %d, want 1", got)
+	}
+	if got := w.Occupancy(80); got != 0 {
+		t.Errorf("Occupancy(80) = %d, want 0", got)
+	}
+	if w.Depth() != 4 {
+		t.Error("Depth mismatch")
+	}
+}
+
+func TestWriteBufferInvalidDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for depth 0")
+		}
+	}()
+	NewWriteBuffer(0)
+}
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	data := []byte("the quick brown fox")
+	m.Write(0x1000, data)
+	got := make([]byte, len(data))
+	m.Read(0x1000, got)
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip: %q != %q", got, data)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.Write(4096-100, data) // spans 3 pages
+	got := make([]byte, len(data))
+	m.Read(4096-100, got)
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page round trip failed")
+	}
+	if m.PagesAllocated() != 3 {
+		t.Errorf("pages = %d, want 3", m.PagesAllocated())
+	}
+}
+
+func TestMemoryUnwrittenReadsZero(t *testing.T) {
+	m := NewMemory()
+	got := make([]byte, 16)
+	for i := range got {
+		got[i] = 0xFF
+	}
+	m.Read(0x99999000, got)
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+	if m.PagesAllocated() != 0 {
+		t.Error("read must not allocate pages")
+	}
+}
+
+func TestMemoryWordAccessors(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(0x10, 0x1122334455667788)
+	if got := m.ReadU64(0x10); got != 0x1122334455667788 {
+		t.Errorf("ReadU64 = %#x", got)
+	}
+	m.WriteU32(0x20, 0xDEADBEEF)
+	if got := m.ReadU32(0x20); got != 0xDEADBEEF {
+		t.Errorf("ReadU32 = %#x", got)
+	}
+	// Little-endian layout check.
+	var b [4]byte
+	m.Read(0x20, b[:])
+	if b[0] != 0xEF || b[3] != 0xDE {
+		t.Errorf("not little-endian: % x", b)
+	}
+}
+
+// TestMemoryQuickRoundTrip is a property test over random offsets/lengths,
+// including page-boundary spans.
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		type chunk struct {
+			addr uint64
+			data []byte
+		}
+		var chunks []chunk
+		base := uint64(rng.Intn(1 << 20))
+		for i := 0; i < 10; i++ {
+			n := rng.Intn(5000) + 1
+			d := make([]byte, n)
+			rng.Read(d)
+			// Non-overlapping ascending chunks.
+			chunks = append(chunks, chunk{base, d})
+			m.Write(base, d)
+			base += uint64(n) + uint64(rng.Intn(100))
+		}
+		for _, c := range chunks {
+			got := make([]byte, len(c.data))
+			m.Read(c.addr, got)
+			if !bytes.Equal(got, c.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

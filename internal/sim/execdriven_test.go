@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+)
+
+// memWalker strides through a 1MB buffer ten times — enough repeated L2
+// misses that steady-state behaviour dominates the cold first pass (the
+// execution-driven path has no fast-forward warmup).
+const memWalker = `
+	li   s0, 0x100000     # base
+	li   s1, 1048576      # 1MB region
+	li   s2, 0            # offset
+	li   s3, 80000        # accesses (~10 passes)
+	li   s4, 0            # checksum
+loop:
+	beq  s3, r0, done
+	add  t0, s0, s2
+	lw   t1, 0(t0)
+	add  s4, s4, t1
+	sw   s4, 0(t0)
+	addi s2, s2, 128
+	blt  s2, s1, nowrap
+	li   s2, 0
+nowrap:
+	addi s3, s3, -1
+	jal  r0, loop
+done:
+	mv   a0, s4
+	li   r1, 0
+	sys  r1
+`
+
+func runWalker(t *testing.T, scheme SchemeKind) ProgramResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	pr, err := RunProgramSource(cfg, memWalker, 0x1000, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestExecDrivenSchemesAgreeFunctionally: the protection scheme changes
+// cycles, never results.
+func TestExecDrivenSchemesAgreeFunctionally(t *testing.T) {
+	base := runWalker(t, SchemeBaseline)
+	xom := runWalker(t, SchemeXOM)
+	otp := runWalker(t, SchemeOTPLRU)
+	if base.ExitCode != xom.ExitCode || base.ExitCode != otp.ExitCode {
+		t.Fatalf("exit codes diverge: %d %d %d", base.ExitCode, xom.ExitCode, otp.ExitCode)
+	}
+	if base.Instructions != xom.Instructions || base.Instructions != otp.Instructions {
+		t.Error("retired instruction counts diverge")
+	}
+	if !(base.Cycles < otp.Cycles && otp.Cycles < xom.Cycles) {
+		t.Errorf("timing ordering violated: base=%d otp=%d xom=%d",
+			base.Cycles, otp.Cycles, xom.Cycles)
+	}
+	// Without a fast-forward warmup the first of the ten passes pays OTP's
+	// expensive cold query misses (251 cycles each, Section 4.2 "the most
+	// expensive operation"), so OTP lands between baseline and XOM rather
+	// than at the near-zero steady state the trace-driven runs show.
+	otpExtra := otp.Cycles - base.Cycles
+	xomExtra := xom.Cycles - base.Cycles
+	if otpExtra*4 > xomExtra*3 {
+		t.Errorf("OTP extra (%d) should be clearly below XOM's (%d)", otpExtra, xomExtra)
+	}
+}
+
+// TestExecDrivenCountsTraffic: the walker's stores produce writebacks; OTP
+// produces SNC activity.
+func TestExecDrivenCountsTraffic(t *testing.T) {
+	otp := runWalker(t, SchemeOTPLRU)
+	if otp.L2Misses == 0 {
+		t.Fatal("walker generated no L2 misses")
+	}
+	if otp.Writebacks == 0 {
+		t.Error("stores never wrote back")
+	}
+	if otp.SNCQueryHits+otp.SNCQueryMisses == 0 {
+		t.Error("no SNC queries under OTP")
+	}
+}
+
+// TestExecDrivenSmallProgram: a compute-only program is scheme-insensitive.
+func TestExecDrivenSmallProgram(t *testing.T) {
+	const fib = `
+		li   r1, 25
+		li   r2, 0
+		li   r3, 1
+	loop:
+		beq  r1, r0, done
+		add  r4, r2, r3
+		mv   r2, r3
+		mv   r3, r4
+		addi r1, r1, -1
+		jal  r0, loop
+	done:
+		mv   a0, r2
+		li   r1, 0
+		sys  r1
+	`
+	run := func(k SchemeKind) ProgramResult {
+		cfg := DefaultConfig()
+		cfg.Scheme = k
+		pr, err := RunProgramSource(cfg, fib, 0x1000, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	base := run(SchemeBaseline)
+	if base.ExitCode != 75025 {
+		t.Errorf("fib(25) = %d, want 75025", base.ExitCode)
+	}
+	// A tiny program is dominated by its one or two cold instruction
+	// fetches: XOM charges +50 cycles on each, while OTP's VA-seeded pads
+	// cost +1 — so OTP must sit essentially at baseline even here.
+	otp := run(SchemeOTPLRU)
+	if slow := Slowdown(otp.Result, base.Result); slow > 3 {
+		t.Errorf("compute-bound program slowed %.2f%% under OTP", slow)
+	}
+	xom := run(SchemeXOM)
+	if xom.Cycles < otp.Cycles {
+		t.Error("XOM cheaper than OTP on cold fetches")
+	}
+}
+
+// TestExecDrivenErrors: budget exhaustion and assembly errors propagate.
+func TestExecDrivenErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := RunProgramSource(cfg, "loop: jal r0, loop", 0, 1000); err == nil {
+		t.Error("infinite loop should exhaust budget")
+	}
+	if _, err := RunProgramSource(cfg, "bogus r1", 0, 1000); err == nil {
+		t.Error("assembly error not propagated")
+	}
+	bad := cfg
+	bad.WriteBufferDepth = 0
+	if _, err := RunProgramSource(bad, "halt", 0, 10); err == nil {
+		t.Error("invalid config not propagated")
+	}
+}

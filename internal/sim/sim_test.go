@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"testing"
+
+	"secureproc/internal/workload"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.L2.SizeBytes != 256<<10 || cfg.L2.Ways != 4 || cfg.L2.LineBytes != 128 {
+		t.Error("L2 is not the paper's 256KB 4-way 128B")
+	}
+	if cfg.L1D.SizeBytes != 32<<10 || cfg.L1I.SizeBytes != 32<<10 {
+		t.Error("L1s are not the paper's 32KB")
+	}
+	if cfg.DRAM.AccessLatency != 100 || cfg.Crypto.Latency != 50 {
+		t.Error("latencies are not the paper's 100/50")
+	}
+	if cfg.SNC.SizeBytes != 64<<10 {
+		t.Error("SNC is not the paper's 64KB default")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := DefaultConfig()
+	bad.WriteBufferDepth = 0
+	if bad.Validate() == nil {
+		t.Error("zero write buffer accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.Scheme = SchemeOTPLRU
+	bad2.SNC.LineBytes = 64 // mismatched with L2
+	if bad2.Validate() == nil {
+		t.Error("SNC/L2 line mismatch accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.CPU.IssueWidth = 0
+	if bad3.Validate() == nil {
+		t.Error("bad CPU config accepted")
+	}
+	if _, err := New(bad3); err == nil {
+		t.Error("New must propagate validation errors")
+	}
+}
+
+func TestSchemeKindString(t *testing.T) {
+	names := map[SchemeKind]string{
+		SchemeBaseline:  "baseline",
+		SchemeXOM:       "XOM",
+		SchemeOTPLRU:    "SNC-LRU",
+		SchemeOTPNoRepl: "SNC-NoRepl",
+		SchemeKind(99):  "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func runBench(t *testing.T, name string, scheme SchemeKind) Result {
+	t.Helper()
+	prof, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	r, err := RunProfile(cfg, prof, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSchemeOrdering verifies the paper's central inequality on a
+// memory-bound benchmark: baseline < OTP-LRU < XOM.
+func TestSchemeOrdering(t *testing.T) {
+	base := runBench(t, "vpr", SchemeBaseline)
+	lru := runBench(t, "vpr", SchemeOTPLRU)
+	xom := runBench(t, "vpr", SchemeXOM)
+	if !(base.Cycles < lru.Cycles && lru.Cycles < xom.Cycles) {
+		t.Errorf("ordering violated: base=%d lru=%d xom=%d", base.Cycles, lru.Cycles, xom.Cycles)
+	}
+	// Same instruction count everywhere (timing-only schemes).
+	if base.Instructions != lru.Instructions || base.Instructions != xom.Instructions {
+		t.Error("instruction counts differ between schemes")
+	}
+}
+
+// TestDeterminism: identical runs give identical cycle counts.
+func TestDeterminism(t *testing.T) {
+	a := runBench(t, "gzip", SchemeOTPLRU)
+	b := runBench(t, "gzip", SchemeOTPLRU)
+	if a.Cycles != b.Cycles || a.L2Misses != b.L2Misses {
+		t.Errorf("non-deterministic: %d/%d vs %d/%d", a.Cycles, a.L2Misses, b.Cycles, b.L2Misses)
+	}
+}
+
+func TestGccNoReplStory(t *testing.T) {
+	// The paper's sharpest qualitative claim: for gcc a no-replacement SNC
+	// is nearly as slow as XOM while LRU is within ~2% of baseline.
+	base := runBench(t, "gcc", SchemeBaseline)
+	xom := runBench(t, "gcc", SchemeXOM)
+	nr := runBench(t, "gcc", SchemeOTPNoRepl)
+	lru := runBench(t, "gcc", SchemeOTPLRU)
+	sXOM, sNR, sLRU := Slowdown(xom, base), Slowdown(nr, base), Slowdown(lru, base)
+	if sNR < sXOM*0.7 {
+		t.Errorf("gcc NoRepl (%.1f%%) should be close to XOM (%.1f%%)", sNR, sXOM)
+	}
+	if sLRU > sXOM*0.25 {
+		t.Errorf("gcc LRU (%.1f%%) should be far below XOM (%.1f%%)", sLRU, sXOM)
+	}
+}
+
+func TestSNCCountersOnlyForOTP(t *testing.T) {
+	xom := runBench(t, "vpr", SchemeXOM)
+	if xom.SNCQueryHits != 0 || xom.SNCQueryMisses != 0 {
+		t.Error("XOM run has SNC counters")
+	}
+	lru := runBench(t, "vpr", SchemeOTPLRU)
+	if lru.SNCQueryHits == 0 {
+		t.Error("OTP run has no SNC query hits")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	r := runBench(t, "mcf", SchemeOTPLRU)
+	if r.DemandTraffic() == 0 {
+		t.Fatal("no demand traffic")
+	}
+	if r.SNCTraffic() == 0 {
+		t.Error("mcf under LRU should spill/fetch sequence numbers")
+	}
+	if r.SeqNumFetches == 0 || r.SeqNumSpills == 0 {
+		t.Error("fetches and spills should both be nonzero for mcf")
+	}
+	nr := runBench(t, "mcf", SchemeOTPNoRepl)
+	if nr.SNCTraffic() != 0 {
+		t.Error("NoReplacement must not generate sequence-number traffic")
+	}
+}
+
+func TestIPCPositive(t *testing.T) {
+	r := runBench(t, "mesa", SchemeBaseline)
+	if ipc := r.IPC(); ipc <= 0 || ipc > 4 {
+		t.Errorf("implausible IPC %.2f", ipc)
+	}
+	var zero Result
+	if zero.IPC() != 0 {
+		t.Error("zero result IPC should be 0")
+	}
+}
+
+func TestSlowdownAndNormalizedTime(t *testing.T) {
+	base := Result{Cycles: 1000}
+	r := Result{Cycles: 1200}
+	if got := Slowdown(r, base); got < 19.999 || got > 20.001 {
+		t.Errorf("Slowdown = %v, want ~20", got)
+	}
+	if got := NormalizedTime(r, base); got != 1.2 {
+		t.Errorf("NormalizedTime = %v, want 1.2", got)
+	}
+	if Slowdown(r, Result{}) != 0 || NormalizedTime(r, Result{}) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+// TestCryptoLatencyInsensitivity reproduces Figure 10's mechanism at the
+// unit level: doubling crypto latency should hammer XOM but barely move
+// OTP-LRU.
+func TestCryptoLatencyInsensitivity(t *testing.T) {
+	prof, _ := workload.ByName("art")
+	run := func(scheme SchemeKind, lat uint64) Result {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Crypto.Latency = lat
+		r, err := RunProfile(cfg, prof, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(SchemeBaseline, 50)
+	xom50 := Slowdown(run(SchemeXOM, 50), base)
+	xom102 := Slowdown(run(SchemeXOM, 102), base)
+	lru50 := Slowdown(run(SchemeOTPLRU, 50), base)
+	lru102 := Slowdown(run(SchemeOTPLRU, 102), base)
+	if xom102 < xom50*1.5 {
+		t.Errorf("XOM should degrade sharply: %.1f%% -> %.1f%%", xom50, xom102)
+	}
+	if lru102 > lru50+2.0 {
+		t.Errorf("OTP-LRU should be insensitive: %.1f%% -> %.1f%%", lru50, lru102)
+	}
+}
+
+func TestEquakeSNCSizeCliff(t *testing.T) {
+	// Figure 6's cliff: equake fits a 64KB SNC (4MB coverage) but not a
+	// 32KB one (2MB).
+	prof, _ := workload.ByName("equake")
+	run := func(kb int) Result {
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeOTPLRU
+		cfg.SNC.SizeBytes = kb << 10
+		r, err := RunProfile(cfg, prof, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cfg := DefaultConfig()
+	base, err := RunProfile(cfg, prof, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32 := Slowdown(run(32), base)
+	s64 := Slowdown(run(64), base)
+	if s64 > 1.5 {
+		t.Errorf("equake at 64KB should be near zero, got %.2f%%", s64)
+	}
+	if s32 < 3*s64+2 {
+		t.Errorf("equake cliff missing: 32KB=%.2f%% vs 64KB=%.2f%%", s32, s64)
+	}
+}
+
+func TestAmmpAssociativityOutlier(t *testing.T) {
+	// Figure 7: ammp degrades at 32 ways, others do not (spot-check art).
+	run := func(bench string, ways int) float64 {
+		prof, _ := workload.ByName(bench)
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeOTPLRU
+		cfg.SNC.Ways = ways
+		r, err := RunProfile(cfg, prof, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Scheme = SchemeBaseline
+		base, err := RunProfile(cfg, prof, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Slowdown(r, base)
+	}
+	ammpFA := run("ammp", 0)
+	ammp32 := run("ammp", 32)
+	artFA := run("art", 0)
+	art32 := run("art", 32)
+	if ammp32 < ammpFA*1.5 {
+		t.Errorf("ammp should suffer at 32 ways: FA=%.2f%% 32w=%.2f%%", ammpFA, ammp32)
+	}
+	if art32 > artFA+1 {
+		t.Errorf("art should not care about associativity: FA=%.2f%% 32w=%.2f%%", artFA, art32)
+	}
+}
+
+func TestRunShorterThanWarmup(t *testing.T) {
+	// A stream shorter than the declared warmup yields an empty (but
+	// well-formed) measurement.
+	prof := workload.Profile{
+		Name: "tiny",
+		Phases: []workload.Phase{
+			{Refs: 10, Warmup: true, Regions: []workload.Region{{Size: 1024, Weight: 1}}},
+		},
+	}
+	cfg := DefaultConfig()
+	r, err := RunProfile(cfg, prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 0 {
+		t.Errorf("measured instructions = %d, want 0", r.Instructions)
+	}
+}
+
+func TestSystemSchemeAccessor(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Scheme() == nil || sys.Scheme().Name() != "baseline" {
+		t.Error("Scheme() accessor broken")
+	}
+	bad := DefaultConfig()
+	bad.Scheme = SchemeKind(42)
+	if _, err := New(bad); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,348 @@
+// Package snc implements the on-chip Sequence Number Cache of Section 4 of
+// the paper.
+//
+// The SNC sits below the L2 cache, inside the security boundary, and maps
+// the *virtual* address of an L2 line to the sequence number last used to
+// encrypt that line (2 bytes per entry in the paper's evaluation; a 64KB SNC
+// therefore holds 32K sequence numbers and covers 4MB of memory with 128B
+// lines).
+//
+// Two operating policies from Section 4.1:
+//
+//   - LRU replacement: the SNC holds the hot subset; evicted sequence
+//     numbers are spilled to (directly encrypted) memory, and misses fetch
+//     them back.
+//   - No replacement: entries are installed while vacancies exist and never
+//     evicted; lines without an entry fall back to XOM-style direct
+//     encryption.
+//
+// The SNC itself is policy-neutral storage with hit/miss and LRU mechanics;
+// the scheme logic in internal/core drives it according to Algorithm 1.
+package snc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Policy selects the replacement behaviour.
+type Policy int
+
+const (
+	// LRU spills evicted sequence numbers to memory (paper "SNC-LRU").
+	LRU Policy = iota
+	// NoReplacement never evicts; uncovered lines use direct encryption
+	// (paper "SNC-NoRepl").
+	NoReplacement
+)
+
+// String names the policy as in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "SNC-LRU"
+	case NoReplacement:
+		return "SNC-NoRepl"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes an SNC.
+type Config struct {
+	// SizeBytes is the total SNC capacity (32KB/64KB/128KB in Figure 6).
+	SizeBytes int
+	// EntryBytes is the storage per sequence number (2 in the paper).
+	EntryBytes int
+	// Ways is the associativity; 0 means fully associative (the paper's
+	// default; Figure 7 evaluates 32).
+	Ways int
+	// LineBytes is the L2 line size covered by one entry (128).
+	LineBytes int
+	// Policy is the replacement policy.
+	Policy Policy
+}
+
+// DefaultConfig is the paper's primary configuration: 64KB, fully
+// associative, 2-byte entries over 128-byte lines, LRU.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 64 << 10, EntryBytes: 2, Ways: 0, LineBytes: 128, Policy: LRU}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.EntryBytes <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("snc: sizes must be positive")
+	}
+	if c.SizeBytes%c.EntryBytes != 0 {
+		return fmt.Errorf("snc: size %d not a multiple of entry size %d", c.SizeBytes, c.EntryBytes)
+	}
+	entries := c.Entries()
+	ways := c.Ways
+	if ways == 0 {
+		ways = entries
+	}
+	if entries%ways != 0 {
+		return fmt.Errorf("snc: %d entries not divisible by %d ways", entries, ways)
+	}
+	if sets := entries / ways; bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("snc: set count %d not a power of two", sets)
+	}
+	if bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("snc: line size %d not a power of two", c.LineBytes)
+	}
+	return nil
+}
+
+// Entries returns the number of sequence numbers the SNC can hold.
+func (c Config) Entries() int { return c.SizeBytes / c.EntryBytes }
+
+// CoverageBytes returns how much memory the SNC can cover (entries × line).
+func (c Config) CoverageBytes() int { return c.Entries() * c.LineBytes }
+
+type entry struct {
+	tag uint64
+	seq uint16
+	set int
+	// LRU list links within the set (indices into SNC.entries; -1 = none).
+	prev, next int
+}
+
+// set holds the per-set LRU list endpoints and a tag index.
+type set struct {
+	head, tail int // MRU..LRU (indices into SNC.entries; -1 = empty)
+	count      int
+	index      map[uint64]int // tag -> entry slot
+	free       []int          // vacant slots belonging to this set
+}
+
+// SNC is the sequence number cache. Lookups are O(1) via per-set hash
+// indexes; LRU is maintained with intrusive lists so fully associative
+// configurations (a single 32K-way set in the paper's default) stay fast.
+type SNC struct {
+	cfg       Config
+	entries   []entry
+	sets      []set
+	setMask   uint64
+	lineShift uint
+	occupied  int
+
+	// Statistics.
+	QueryHits    uint64
+	QueryMisses  uint64
+	UpdateHits   uint64
+	UpdateMisses uint64
+	Evictions    uint64
+	Rejected     uint64 // NoReplacement installs refused because full
+}
+
+// New builds an SNC, panicking on invalid configuration.
+func New(cfg Config) *SNC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	entries := cfg.Entries()
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = entries
+	}
+	nsets := entries / ways
+	s := &SNC{
+		cfg:       cfg,
+		entries:   make([]entry, entries),
+		sets:      make([]set, nsets),
+		setMask:   uint64(nsets - 1),
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}
+	for i := range s.sets {
+		st := &s.sets[i]
+		st.head, st.tail = -1, -1
+		st.index = make(map[uint64]int)
+		st.free = make([]int, 0, ways)
+		// Slots [i*ways, (i+1)*ways) belong to set i.
+		for w := ways - 1; w >= 0; w-- {
+			st.free = append(st.free, i*ways+w)
+		}
+	}
+	return s
+}
+
+// unlink removes slot from its set's LRU list.
+func (s *SNC) unlink(st *set, slot int) {
+	e := &s.entries[slot]
+	if e.prev >= 0 {
+		s.entries[e.prev].next = e.next
+	} else {
+		st.head = e.next
+	}
+	if e.next >= 0 {
+		s.entries[e.next].prev = e.prev
+	} else {
+		st.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushFront makes slot the MRU of its set.
+func (s *SNC) pushFront(st *set, slot int) {
+	e := &s.entries[slot]
+	e.prev, e.next = -1, st.head
+	if st.head >= 0 {
+		s.entries[st.head].prev = slot
+	}
+	st.head = slot
+	if st.tail < 0 {
+		st.tail = slot
+	}
+}
+
+// touch refreshes slot to MRU.
+func (s *SNC) touch(st *set, slot int) {
+	if st.head == slot {
+		return
+	}
+	s.unlink(st, slot)
+	s.pushFront(st, slot)
+}
+
+// Config returns the SNC configuration.
+func (s *SNC) Config() Config { return s.cfg }
+
+func (s *SNC) locate(lineVA uint64) (st *set, tag uint64) {
+	lineNum := lineVA >> s.lineShift
+	return &s.sets[lineNum&s.setMask], lineNum
+}
+
+// Query looks up the sequence number for a line being *read* from memory
+// (paper: "query" operations fill the seed for decryption). On a hit the
+// entry's LRU state is refreshed.
+func (s *SNC) Query(lineVA uint64) (seq uint16, hit bool) {
+	st, tag := s.locate(lineVA)
+	if slot, ok := st.index[tag]; ok {
+		s.QueryHits++
+		s.touch(st, slot)
+		return s.entries[slot].seq, true
+	}
+	s.QueryMisses++
+	return 0, false
+}
+
+// Update increments and returns the sequence number for a line being
+// *written back* (paper equation 4: SeqNo_i += 1 before forming the seed).
+// On a miss it returns hit=false and the caller applies the policy.
+func (s *SNC) Update(lineVA uint64) (seq uint16, hit bool) {
+	st, tag := s.locate(lineVA)
+	if slot, ok := st.index[tag]; ok {
+		s.UpdateHits++
+		e := &s.entries[slot]
+		e.seq++
+		s.touch(st, slot)
+		return e.seq, true
+	}
+	s.UpdateMisses++
+	return 0, false
+}
+
+// Install places a (line, seq) pair fetched from memory into the SNC,
+// evicting the LRU victim if the set is full. It returns the victim so the
+// caller can spill it (Algorithm 1 lines 11-12 / 24-25). Install is used by
+// the LRU policy.
+func (s *SNC) Install(lineVA uint64, seq uint16) (victimVA uint64, victimSeq uint16, evicted bool) {
+	st, tag := s.locate(lineVA)
+	if slot, ok := st.index[tag]; ok {
+		// Already present (e.g. installed by a racing path): refresh.
+		s.entries[slot].seq = seq
+		s.touch(st, slot)
+		return 0, 0, false
+	}
+	var slot int
+	if n := len(st.free); n > 0 {
+		slot = st.free[n-1]
+		st.free = st.free[:n-1]
+		s.occupied++
+	} else {
+		// Evict the set's LRU entry.
+		slot = st.tail
+		victim := &s.entries[slot]
+		s.Evictions++
+		victimVA, victimSeq, evicted = victim.tag<<s.lineShift, victim.seq, true
+		delete(st.index, victim.tag)
+		s.unlink(st, slot)
+	}
+	s.entries[slot] = entry{tag: tag, seq: seq, prev: -1, next: -1}
+	st.index[tag] = slot
+	s.pushFront(st, slot)
+	return victimVA, victimSeq, evicted
+}
+
+// TryInstall installs only if the line's set has a vacancy; it never evicts.
+// It returns false when the SNC cannot accept the entry (NoReplacement
+// policy, Section 4.1: "when SNC is full ... they should be encrypted
+// directly").
+func (s *SNC) TryInstall(lineVA uint64, seq uint16) bool {
+	st, tag := s.locate(lineVA)
+	if slot, ok := st.index[tag]; ok {
+		s.entries[slot].seq = seq
+		s.touch(st, slot)
+		return true
+	}
+	if n := len(st.free); n > 0 {
+		slot := st.free[n-1]
+		st.free = st.free[:n-1]
+		s.occupied++
+		s.entries[slot] = entry{tag: tag, seq: seq, prev: -1, next: -1}
+		st.index[tag] = slot
+		s.pushFront(st, slot)
+		return true
+	}
+	s.Rejected++
+	return false
+}
+
+// Contains reports presence without touching LRU state or stats.
+func (s *SNC) Contains(lineVA uint64) bool {
+	st, tag := s.locate(lineVA)
+	_, ok := st.index[tag]
+	return ok
+}
+
+// Occupied returns the number of valid entries.
+func (s *SNC) Occupied() int { return s.occupied }
+
+// FlushAll invalidates every entry, returning the (lineVA, seq) pairs that
+// were held. Used on context switches when the SNC is flushed to memory
+// with encryption (Section 4.3 option 1).
+func (s *SNC) FlushAll() (spilled [][2]uint64) {
+	ways := s.cfg.Entries() / len(s.sets)
+	for si := range s.sets {
+		st := &s.sets[si]
+		for slot := st.head; slot >= 0; slot = s.entries[slot].next {
+			e := &s.entries[slot]
+			spilled = append(spilled, [2]uint64{e.tag << s.lineShift, uint64(e.seq)})
+		}
+		st.head, st.tail, st.count = -1, -1, 0
+		st.index = make(map[uint64]int)
+		st.free = st.free[:0]
+		for w := ways - 1; w >= 0; w-- {
+			st.free = append(st.free, si*ways+w)
+		}
+	}
+	s.occupied = 0
+	return spilled
+}
+
+// HitRate returns total hits over total accesses.
+func (s *SNC) HitRate() float64 {
+	hits := s.QueryHits + s.UpdateHits
+	total := hits + s.QueryMisses + s.UpdateMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// ResetStats clears counters but keeps contents.
+func (s *SNC) ResetStats() {
+	s.QueryHits, s.QueryMisses, s.UpdateHits, s.UpdateMisses = 0, 0, 0, 0
+	s.Evictions, s.Rejected = 0, 0
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterSet(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Add("b", 2)
+	if s.Get("a") != 5 || s.Get("b") != 2 || s.Get("missing") != 0 {
+		t.Errorf("values: %d %d %d", s.Get("a"), s.Get("b"), s.Get("missing"))
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names: %v", names)
+	}
+	if !strings.Contains(s.String(), "a=5") {
+		t.Error("String output")
+	}
+	var zero Set
+	zero.Inc("x") // zero value must be usable
+	if zero.Get("x") != 1 {
+		t.Error("zero-value Set broken")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSet()
+	a.Add("x", 1)
+	b := NewSet()
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Errorf("merge: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(1, 4) != 0.25 || Ratio(1, 0) != 0 {
+		t.Error("Ratio")
+	}
+	if Pct(1, 4) != 25 {
+		t.Error("Pct")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Title", "name", "v1", "v2")
+	tb.AddRow("alpha", "1")
+	tb.AddRowF("beta", "%.1f", 2.5, 3.5)
+	if tb.NumRows() != 2 {
+		t.Error("NumRows")
+	}
+	out := tb.String()
+	for _, want := range []string{"Title", "name", "alpha", "beta", "2.5", "3.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("s", []string{"a", "b", "c"}, []float64{1, 3, 2})
+	if s.Mean() != 2 {
+		t.Error("Mean")
+	}
+	if v, ok := s.Value("b"); !ok || v != 3 {
+		t.Error("Value")
+	}
+	if _, ok := s.Value("zz"); ok {
+		t.Error("missing label found")
+	}
+	if l, v := s.Max(); l != "b" || v != 3 {
+		t.Error("Max")
+	}
+	order := s.RankOrder()
+	if order[0] != "b" || order[1] != "c" || order[2] != "a" {
+		t.Errorf("RankOrder: %v", order)
+	}
+	r := s.Relabel("t")
+	if r.Name != "t" || r.Mean() != 2 {
+		t.Error("Relabel")
+	}
+	var empty Series
+	if empty.Mean() != 0 {
+		t.Error("empty mean")
+	}
+	if l, v := empty.Max(); l != "" || v != 0 {
+		t.Error("empty max")
+	}
+}
+
+func TestSeriesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSeries("bad", []string{"a"}, []float64{1, 2})
+}
+
+func TestSpearmanRank(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	x := NewSeries("x", labels, []float64{1, 2, 3, 4})
+	same := NewSeries("y", labels, []float64{10, 20, 30, 40})
+	rev := NewSeries("z", labels, []float64{4, 3, 2, 1})
+	if rho := SpearmanRank(x, same); rho < 0.999 {
+		t.Errorf("identical order: rho=%v", rho)
+	}
+	if rho := SpearmanRank(x, rev); rho > -0.999 {
+		t.Errorf("reversed order: rho=%v", rho)
+	}
+	tiny := NewSeries("t", []string{"a"}, []float64{1})
+	if SpearmanRank(tiny, tiny) != 0 {
+		t.Error("degenerate series should return 0")
+	}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 11 {
+		t.Fatalf("got %d profiles, want 11 (the paper's benchmark set)", len(profs))
+	}
+	for _, p := range profs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestBenchmarkNamesMatchProfiles(t *testing.T) {
+	for _, name := range BenchmarkNames {
+		p, ok := ByName(name)
+		if !ok {
+			t.Errorf("no profile for %q", name)
+			continue
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q) returned %q", name, p.Name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName should fail for unknown names")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	region := Region{Base: 0, Size: 1024, Pattern: RandomPattern, Weight: 1}
+	bad := []Profile{
+		{},          // no name
+		{Name: "x"}, // no phases
+		{Name: "x", Phases: []Phase{{Refs: 0, Regions: []Region{region}}}},
+		{Name: "x", Phases: []Phase{{Refs: 1}}}, // no regions
+		{Name: "x", Phases: []Phase{{Refs: 1, Regions: []Region{{Size: 0, Weight: 1}}}}},
+		{Name: "x", Phases: []Phase{{Refs: 1, Regions: []Region{{Size: 8, Weight: -1}}}}},
+		{Name: "x", Phases: []Phase{{Refs: 1, Regions: []Region{{Size: 8, Weight: 0}}}}},
+		{Name: "x", IFetchFrac: 0.1, Phases: []Phase{{Refs: 1, Regions: []Region{region}}}}, // no code size
+		{Name: "x", Phases: []Phase{ // warmup after measured
+			{Refs: 1, Regions: []Region{region}},
+			{Refs: 1, Regions: []Region{region}, Warmup: true},
+		}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad[%d] validated", i)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	p, _ := ByName("gzip")
+	s1, err := NewStream(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewStream(p, 0.05)
+	r1 := Collect(s1)
+	r2 := Collect(s2)
+	if len(r1) == 0 || len(r1) != len(r2) {
+		t.Fatalf("lengths %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestStreamScale(t *testing.T) {
+	p, _ := ByName("vpr")
+	small := Collect(mustStream(t, p, 0.1))
+	large := Collect(mustStream(t, p, 0.2))
+	// Warmup is fixed; measured refs double.
+	w := p.WarmupRefs()
+	smallMeasured := len(small) - w
+	largeMeasured := len(large) - w
+	if largeMeasured < smallMeasured*3/2 {
+		t.Errorf("scale did not grow measured refs: %d vs %d", smallMeasured, largeMeasured)
+	}
+	if _, err := NewStream(p, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func mustStream(t *testing.T, p Profile, scale float64) Stream {
+	t.Helper()
+	s, err := NewStream(p, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWarmupRefsCountsOnlyWarmupPhases(t *testing.T) {
+	p := Profile{
+		Name: "t",
+		Phases: []Phase{
+			{Refs: 100, Warmup: true, Regions: []Region{{Size: 1024, Weight: 1}}},
+			{Refs: 50, Regions: []Region{{Size: 1024, Weight: 1}}},
+		},
+	}
+	if got := p.WarmupRefs(); got != 100 {
+		t.Errorf("WarmupRefs = %d, want 100", got)
+	}
+}
+
+func TestRecordsLandInDeclaredRegions(t *testing.T) {
+	for _, p := range Profiles() {
+		// Collect region+code bounds.
+		type bound struct{ lo, hi uint64 }
+		var bounds []bound
+		for _, ph := range p.Phases {
+			for _, r := range ph.Regions {
+				bounds = append(bounds, bound{r.Base, r.Base + r.Size})
+			}
+		}
+		if p.CodeSize > 0 {
+			bounds = append(bounds, bound{p.CodeBase, p.CodeBase + p.CodeSize})
+		}
+		s := mustStream(t, p, 0.02)
+		n := 0
+		for {
+			rec, ok := s.Next()
+			if !ok {
+				break
+			}
+			n++
+			found := false
+			for _, b := range bounds {
+				if rec.Addr >= b.lo && rec.Addr < b.hi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: record addr %#x outside all regions", p.Name, rec.Addr)
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s: empty stream", p.Name)
+		}
+	}
+}
+
+func TestPointerChaseRecordsDependent(t *testing.T) {
+	p := Profile{
+		Name: "chase",
+		Seed: 1,
+		Phases: []Phase{{
+			Refs: 1000,
+			Regions: []Region{
+				{Base: 0, Size: 1 << 20, Pattern: PointerChasePattern, Weight: 1},
+			},
+		}},
+	}
+	s := mustStream(t, p, 1)
+	deps, loads := 0, 0
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind == Load {
+			loads++
+			if rec.Depends {
+				deps++
+			}
+		}
+	}
+	if loads == 0 || deps != loads {
+		t.Errorf("pointer chase: %d/%d loads dependent", deps, loads)
+	}
+}
+
+func TestSequentialPatternStrides(t *testing.T) {
+	p := Profile{
+		Name: "seq",
+		Seed: 2,
+		Phases: []Phase{{
+			Refs: 10,
+			Regions: []Region{
+				{Base: 0x1000, Size: 4096, Pattern: SequentialPattern, Stride: 128, Weight: 1},
+			},
+		}},
+	}
+	s := mustStream(t, p, 1)
+	want := uint64(0x1000)
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		if rec.Addr != want {
+			t.Fatalf("addr %#x, want %#x", rec.Addr, want)
+		}
+		want += 128
+	}
+}
+
+func TestStoreFractionRoughlyHonored(t *testing.T) {
+	p := Profile{
+		Name: "st",
+		Seed: 3,
+		Phases: []Phase{{
+			Refs: 20000,
+			Regions: []Region{
+				{Base: 0, Size: 1 << 20, Pattern: RandomPattern, Weight: 1, StoreFrac: 0.5},
+			},
+		}},
+	}
+	s := mustStream(t, p, 1)
+	stores, total := 0, 0
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		total++
+		if rec.Kind == Store {
+			stores++
+		}
+	}
+	frac := float64(stores) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("store fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestIFetchEmission(t *testing.T) {
+	p, _ := ByName("gcc")
+	s := mustStream(t, p, 0.2)
+	ifetches := 0
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind == IFetch {
+			ifetches++
+			if rec.Addr < p.CodeBase || rec.Addr >= p.CodeBase+p.CodeSize {
+				t.Fatalf("ifetch outside code region: %#x", rec.Addr)
+			}
+		}
+	}
+	if ifetches == 0 {
+		t.Error("gcc should emit instruction fetches")
+	}
+}

@@ -1,0 +1,304 @@
+package xom
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"secureproc/internal/isa"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newRand(seed int64) detRand { return detRand{rand.New(rand.NewSource(seed))} }
+
+const helloSrc = `
+	li   s0, msg
+loop:
+	lbu  a0, 0(s0)
+	beq  a0, r0, done
+	li   r1, 1
+	sys  r1
+	addi s0, s0, 1
+	jal  r0, loop
+done:
+	li   a0, 0
+	li   r1, 0
+	sys  r1
+msg:
+	.asciiz "secure!"
+`
+
+func buildPackage(t *testing.T, proc *Processor, src string) *Package {
+	t.Helper()
+	const base = 0x10000
+	bin, _, err := isa.Assemble(src, base)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	ks := []byte{0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1}
+	pkg, err := VendorEncrypt(bin, base, base, ks, proc.PublicKey(), newRand(5))
+	if err != nil {
+		t.Fatalf("vendor encrypt: %v", err)
+	}
+	return pkg
+}
+
+func TestEndToEndProtectedExecution(t *testing.T) {
+	proc, err := NewProcessor(newRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := buildPackage(t, proc, helloSrc)
+
+	// The ciphertext image must not contain the plaintext string.
+	if bytes.Contains(pkg.Image, []byte("secure!")) {
+		t.Fatal("vendor image leaks plaintext")
+	}
+
+	ctx, err := proc.Load(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var console bytes.Buffer
+	ctx.CPU.Console = &console
+	if err := ctx.CPU.Run(10_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if console.String() != "secure!" {
+		t.Errorf("console = %q", console.String())
+	}
+	// External memory holds only ciphertext.
+	raw, err := ctx.RawMemoryLine(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("secure")) {
+		t.Error("external memory line contains plaintext")
+	}
+}
+
+func TestPackageOnlyRunsOnTargetProcessor(t *testing.T) {
+	procA, err := NewProcessor(newRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procB, err := NewProcessor(newRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := buildPackage(t, procA, helloSrc)
+	// Loading on the wrong processor must fail (or decrypt garbage): the
+	// anti-piracy property.
+	if ctx, err := procB.Load(pkg); err == nil {
+		// RSA padding usually rejects; if not, execution must trap on
+		// garbage instructions.
+		runErr := ctx.CPU.Run(10_000)
+		if runErr == nil && ctx.CPU.ExitCode == 0 {
+			t.Error("package ran successfully on a non-target processor")
+		}
+	}
+}
+
+func TestStoreReEncryptsWithFreshPad(t *testing.T) {
+	proc, err := NewProcessor(newRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program writes 0 to a data word twice with a flush in between.
+	src := `
+	li  s0, 0x20000
+	sw  r0, 0(s0)
+	halt
+	`
+	pkg := buildPackage(t, proc, src)
+	ctx, err := proc.Load(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.FlushCaches(); err != nil {
+		t.Fatal(err)
+	}
+	ct1, _ := ctx.RawMemoryLine(0x20000)
+	// Store the same value again; flush; ciphertext must differ (fresh
+	// sequence number).
+	if err := ctx.Store32(0x20000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.FlushCaches(); err != nil {
+		t.Fatal(err)
+	}
+	ct2, _ := ctx.RawMemoryLine(0x20000)
+	if bytes.Equal(ct1, ct2) {
+		t.Error("rewriting the same value produced identical ciphertext (pad not mutating)")
+	}
+	// And the plaintext view is still 0.
+	v, err := ctx.Load32(0x20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("value = %d, want 0", v)
+	}
+}
+
+func TestRegisterFileTagging(t *testing.T) {
+	m := NewManager()
+	a := m.Enter([]byte("keyA-keyA"))
+	b := m.Enter([]byte("keyB-keyB"))
+	rf := &RegisterFile{}
+	rf.Write(a, 5, 1234)
+	if v, err := rf.Read(a, 5); err != nil || v != 1234 {
+		t.Fatalf("owner read: %d, %v", v, err)
+	}
+	if _, err := rf.Read(b, 5); err == nil {
+		t.Error("cross-compartment register read must fault")
+	}
+	var viol ErrCompartmentViolation
+	_, err := rf.Read(b, 5)
+	if e, ok := err.(ErrCompartmentViolation); ok {
+		viol = e
+	} else {
+		t.Fatalf("wrong error type: %v", err)
+	}
+	if viol.Accessor != b || viol.Owner != a || viol.Reg != 5 {
+		t.Errorf("violation details: %+v", viol)
+	}
+	if !strings.Contains(viol.Error(), "compartment") {
+		t.Error("error message")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	m := NewManager()
+	id := m.Enter([]byte("program-key"))
+	rf := &RegisterFile{}
+	for r := 0; r < 32; r++ {
+		rf.Write(id, r, uint32(r*r+7))
+	}
+	sealed, err := m.SealRegisters(id, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After sealing, the OS owns the physical registers.
+	if rf.Owner(5) != OSCompartment {
+		t.Error("registers not scrubbed after seal")
+	}
+	if err := m.UnsealRegisters(sealed, rf); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 32; r++ {
+		v, err := rf.Read(id, r)
+		if err != nil || v != uint32(r*r+7) {
+			t.Fatalf("r%d = %d, %v", r, v, err)
+		}
+	}
+}
+
+func TestSealedRegsMutate(t *testing.T) {
+	// Two saves of identical register state must differ (the paper's
+	// mutating-seed requirement for interrupt saves).
+	m := NewManager()
+	id := m.Enter([]byte("program-key"))
+	rf := &RegisterFile{}
+	rf.Write(id, 1, 42)
+	s1, err := m.SealRegisters(id, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnsealRegisters(s1, rf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.SealRegisters(id, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Cipher == s2.Cipher {
+		t.Error("identical ciphertexts across interrupt saves")
+	}
+}
+
+func TestUnsealRejectsTampering(t *testing.T) {
+	m := NewManager()
+	id := m.Enter([]byte("program-key"))
+	rf := &RegisterFile{}
+	rf.Write(id, 1, 42)
+	sealed, err := m.SealRegisters(id, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sealed
+	bad.Cipher[1] ^= 1
+	if err := m.UnsealRegisters(bad, rf); err == nil {
+		t.Error("tampered register save accepted")
+	}
+}
+
+func TestUnsealRejectsReplay(t *testing.T) {
+	m := NewManager()
+	id := m.Enter([]byte("program-key"))
+	rf := &RegisterFile{}
+	rf.Write(id, 1, 100) // balance := 100
+	old, err := m.SealRegisters(id, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnsealRegisters(old, rf); err != nil {
+		t.Fatal(err)
+	}
+	rf.Write(id, 1, 5) // balance := 5
+	if _, err := m.SealRegisters(id, rf); err != nil {
+		t.Fatal(err)
+	}
+	// Malicious OS replays the old save (balance 100): must be rejected.
+	if err := m.UnsealRegisters(old, rf); err == nil {
+		t.Error("replayed register save accepted")
+	}
+}
+
+func TestCompartmentLifecycle(t *testing.T) {
+	m := NewManager()
+	id := m.Enter([]byte("k"))
+	if !m.Active(id) {
+		t.Error("compartment should be active")
+	}
+	m.Exit(id)
+	if m.Active(id) {
+		t.Error("compartment should be gone")
+	}
+	rf := &RegisterFile{}
+	if _, err := m.SealRegisters(id, rf); err == nil {
+		t.Error("sealing for a dead compartment must fail")
+	}
+	if err := m.UnsealRegisters(SealedRegs{Compartment: id}, rf); err == nil {
+		t.Error("unsealing for a dead compartment must fail")
+	}
+	if _, err := m.SealRegisters(OSCompartment, rf); err == nil {
+		t.Error("the OS compartment has no key to seal with")
+	}
+}
+
+func TestVendorEncryptValidation(t *testing.T) {
+	proc, err := NewProcessor(newRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := make([]byte, 8)
+	if _, err := VendorEncrypt([]byte{1, 2, 3, 4}, 0x10001, 0, ks, proc.PublicKey(), newRand(8)); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := VendorEncrypt([]byte{1}, 0x10000, 0x10000, []byte{1, 2}, proc.PublicKey(), newRand(8)); err == nil {
+		t.Error("bad DES key accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package secureproc is a full reproduction of "Fast Secure Processor for
+// Inhibiting Software Piracy and Tampering" (Yang, Zhang, Gao — MICRO-36,
+// 2003): one-time-pad (counter-mode) memory encryption with an on-chip
+// Sequence Number Cache, evaluated against the XOM direct-encryption
+// baseline on a trace-driven out-of-order processor simulator.
+//
+// The package is a facade over the internal packages:
+//
+//   - Simulation: Run one benchmark under one protection scheme and get
+//     cycles, traffic and SNC statistics (RunBenchmark, Compare).
+//   - Experiments: regenerate any of the paper's figures with
+//     paper-vs-measured tables (Figure, AllFigures).
+//   - Functional encryption: byte-accurate protected memory with real
+//     DES/AES pads for end-to-end demos (NewProtectedMemory).
+//
+// # Quickstart
+//
+//	base, _ := secureproc.RunBenchmark("mcf", secureproc.Baseline, 0.3)
+//	otp, _ := secureproc.RunBenchmark("mcf", secureproc.OTPLRU, 0.3)
+//	fmt.Printf("slowdown: %.2f%%\n", secureproc.Slowdown(otp, base))
+package secureproc
+
+import (
+	"fmt"
+
+	"secureproc/internal/core"
+	"secureproc/internal/crypto/aes"
+	"secureproc/internal/crypto/des"
+	"secureproc/internal/experiments"
+	"secureproc/internal/mem"
+	"secureproc/internal/sim"
+	"secureproc/internal/workload"
+)
+
+// Scheme selects a memory-protection scheme.
+type Scheme = sim.SchemeKind
+
+// The four schemes the paper evaluates.
+const (
+	// Baseline is the insecure processor (no memory encryption).
+	Baseline = sim.SchemeBaseline
+	// XOM is direct encryption on the memory critical path.
+	XOM = sim.SchemeXOM
+	// OTPLRU is one-time-pad encryption with an LRU sequence number cache
+	// (the paper's best configuration).
+	OTPLRU = sim.SchemeOTPLRU
+	// OTPNoRepl is one-time-pad encryption with a no-replacement SNC.
+	OTPNoRepl = sim.SchemeOTPNoRepl
+)
+
+// Result is the outcome of one simulation run.
+type Result = sim.Result
+
+// Config is a full system configuration; see DefaultConfig.
+type Config = sim.Config
+
+// DefaultConfig returns the paper's Section 5 system: 4-issue out-of-order
+// core, 32KB split L1s, 256KB 4-way 128B-line L2, 100-cycle memory,
+// 50-cycle crypto unit, 64KB fully associative SNC.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Benchmarks returns the names of the 11 SPEC2000-like workloads.
+func Benchmarks() []string {
+	out := make([]string, len(workload.BenchmarkNames))
+	copy(out, workload.BenchmarkNames)
+	return out
+}
+
+// RunBenchmark simulates one benchmark under the given scheme. scale
+// multiplies the measured trace length (1.0 ≈ 200K memory references;
+// warmup always runs in full).
+func RunBenchmark(name string, scheme Scheme, scale float64) (Result, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return Result{}, fmt.Errorf("secureproc: unknown benchmark %q (have %v)", name, workload.BenchmarkNames)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = scheme
+	return sim.RunProfile(cfg, prof, scale)
+}
+
+// RunBenchmarkConfig simulates one benchmark under an explicit
+// configuration.
+func RunBenchmarkConfig(name string, cfg Config, scale float64) (Result, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return Result{}, fmt.Errorf("secureproc: unknown benchmark %q", name)
+	}
+	return sim.RunProfile(cfg, prof, scale)
+}
+
+// Slowdown returns the percent slowdown of r relative to base.
+func Slowdown(r, base Result) float64 { return sim.Slowdown(r, base) }
+
+// Comparison is the outcome of running one benchmark under every scheme.
+type Comparison struct {
+	Benchmark string
+	Baseline  Result
+	ByScheme  map[string]Result
+}
+
+// SlowdownOf returns the percent slowdown for a scheme name ("XOM",
+// "SNC-LRU", "SNC-NoRepl").
+func (c Comparison) SlowdownOf(scheme string) float64 {
+	r, ok := c.ByScheme[scheme]
+	if !ok {
+		return 0
+	}
+	return sim.Slowdown(r, c.Baseline)
+}
+
+// Compare runs one benchmark under the baseline, XOM and both OTP variants
+// — the paper's Figure 5 for a single workload.
+func Compare(name string, scale float64) (Comparison, error) {
+	base, err := RunBenchmark(name, Baseline, scale)
+	if err != nil {
+		return Comparison{}, err
+	}
+	c := Comparison{Benchmark: name, Baseline: base, ByScheme: make(map[string]Result)}
+	for _, s := range []Scheme{XOM, OTPNoRepl, OTPLRU} {
+		r, err := RunBenchmark(name, s, scale)
+		if err != nil {
+			return Comparison{}, err
+		}
+		c.ByScheme[r.Scheme] = r
+	}
+	return c, nil
+}
+
+// FigureResult is a regenerated paper figure with paper-vs-measured series.
+type FigureResult = experiments.FigureResult
+
+// Figures lists the regenerable paper figures.
+func Figures() []string { return experiments.Names() }
+
+// Figure regenerates one paper figure ("fig3" … "fig10") at the given
+// workload scale.
+func Figure(name string, scale float64) (FigureResult, error) {
+	return experiments.NewRunner(scale).ByName(name)
+}
+
+// AllFigures regenerates the paper's complete evaluation, sharing
+// simulation runs between figures.
+func AllFigures(scale float64) []FigureResult {
+	return experiments.NewRunner(scale).All()
+}
+
+// CipherKind selects the pad-generating block cipher for functional
+// protected memory.
+type CipherKind int
+
+const (
+	// CipherDES uses the from-scratch DES (8-byte blocks), the paper's
+	// Section 3.4.1 choice.
+	CipherDES CipherKind = iota
+	// CipherAES uses the from-scratch AES-128 (16-byte blocks).
+	CipherAES
+)
+
+// ProtectedMemory is a byte-accurate protected external memory implementing
+// the paper's encryption equations with real ciphers. See
+// internal/core.SecureMemory for the method set.
+type ProtectedMemory = core.SecureMemory
+
+// NewProtectedMemory builds a functional protected memory with the given
+// pad cipher, key and line size (the paper uses 128-byte lines).
+func NewProtectedMemory(kind CipherKind, key []byte, lineBytes int) (*ProtectedMemory, error) {
+	var cipher core.BlockCipher
+	switch kind {
+	case CipherDES:
+		c, err := des.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		cipher = c
+	case CipherAES:
+		c, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		cipher = c
+	default:
+		return nil, fmt.Errorf("secureproc: unknown cipher kind %d", kind)
+	}
+	return core.NewSecureMemory(mem.NewMemory(), cipher, lineBytes)
+}

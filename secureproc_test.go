@@ -1,0 +1,124 @@
+package secureproc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"secureproc"
+)
+
+const apiScale = 0.1
+
+func TestBenchmarksList(t *testing.T) {
+	names := secureproc.Benchmarks()
+	if len(names) != 11 {
+		t.Fatalf("got %d benchmarks", len(names))
+	}
+	if names[0] != "ammp" || names[10] != "vpr" {
+		t.Errorf("unexpected order: %v", names)
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	r, err := secureproc.RunBenchmark("gzip", secureproc.Baseline, apiScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Instructions == 0 {
+		t.Error("empty result")
+	}
+	if _, err := secureproc.RunBenchmark("nope", secureproc.Baseline, apiScale); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunBenchmarkConfig(t *testing.T) {
+	cfg := secureproc.DefaultConfig()
+	cfg.Scheme = secureproc.XOM
+	cfg.Crypto.Latency = 102
+	r, err := secureproc.RunBenchmarkConfig("art", cfg, apiScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := secureproc.RunBenchmark("art", secureproc.Baseline, apiScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secureproc.Slowdown(r, base) < 20 {
+		t.Error("102-cycle XOM on art should be a large slowdown")
+	}
+	if _, err := secureproc.RunBenchmarkConfig("nope", cfg, apiScale); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c, err := secureproc.Compare("vpr", apiScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Benchmark != "vpr" || len(c.ByScheme) != 3 {
+		t.Fatalf("comparison malformed: %+v", c)
+	}
+	if c.SlowdownOf("XOM") <= c.SlowdownOf("SNC-LRU") {
+		t.Error("XOM should be slower than SNC-LRU for vpr")
+	}
+	if c.SlowdownOf("bogus") != 0 {
+		t.Error("unknown scheme should yield 0")
+	}
+	if _, err := secureproc.Compare("nope", apiScale); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFigureAPI(t *testing.T) {
+	if len(secureproc.Figures()) != 7 {
+		t.Error("seven figures expected")
+	}
+	fr, err := secureproc.Figure("fig3", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ID != "Figure 3" {
+		t.Errorf("ID = %q", fr.ID)
+	}
+	if _, err := secureproc.Figure("fig99", 0.05); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestProtectedMemoryAPI(t *testing.T) {
+	for _, tc := range []struct {
+		kind secureproc.CipherKind
+		key  int
+	}{
+		{secureproc.CipherDES, 8},
+		{secureproc.CipherAES, 16},
+	} {
+		pm, err := secureproc.NewProtectedMemory(tc.kind, make([]byte, tc.key), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{0xAB}, 128)
+		if err := pm.WriteLineOTP(0x1000, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pm.ReadLine(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("round trip failed")
+		}
+		raw, _ := pm.RawLine(0x1000)
+		if bytes.Equal(raw, data) {
+			t.Error("not encrypted")
+		}
+	}
+	if _, err := secureproc.NewProtectedMemory(secureproc.CipherDES, make([]byte, 3), 128); err == nil {
+		t.Error("bad DES key accepted")
+	}
+	if _, err := secureproc.NewProtectedMemory(secureproc.CipherKind(9), nil, 128); err == nil {
+		t.Error("unknown cipher accepted")
+	}
+}
