@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	figures [-scale 1.0] [-fig fig5] [-list]
+//	figures [-scale 1.0] [-fig fig5] [-jobs N] [-seq] [-list]
 //
 // With no -fig flag every figure is regenerated (simulations are shared
 // between figures). -scale trades trace length for runtime; warmup always
 // runs in full so cache/SNC state is faithful at any scale.
+//
+// Simulations fan out over a worker pool (-jobs, default GOMAXPROCS; -seq
+// forces the sequential path). Figure tables go to stdout and are
+// byte-identical regardless of parallelism; per-figure wall-clock and the
+// run summary go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"secureproc/internal/experiments"
@@ -22,6 +28,8 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale (fraction of native trace length)")
 	fig := flag.String("fig", "", "single figure to regenerate (fig3, fig5, ..., fig10)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
 	list := flag.Bool("list", false, "list regenerable figures and exit")
 	flag.Parse()
 
@@ -31,7 +39,15 @@ func main() {
 		}
 		return
 	}
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "figures: -scale must be positive")
+		os.Exit(1)
+	}
 	runner := experiments.NewRunner(*scale)
+	runner.Jobs = *jobs
+	if *seq {
+		runner.Jobs = 1
+	}
 	start := time.Now()
 	if *fig != "" {
 		fr, err := runner.ByName(*fig)
@@ -41,11 +57,27 @@ func main() {
 		}
 		fmt.Print(fr.Render())
 	} else {
-		for _, fr := range runner.All() {
+		// Regenerate figure by figure so the per-figure timing below is
+		// meaningful; each figure's simulations still fan out over the
+		// pool, and runs are memoized across figures.
+		for _, n := range experiments.Names() {
+			figStart := time.Now()
+			before := runner.CachedRuns()
+			fr, err := runner.ByName(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Print(fr.Render())
 			fmt.Println()
+			fmt.Fprintf(os.Stderr, "[%s: %.2fs, +%d simulations, %d memoized total]\n",
+				n, time.Since(figStart).Seconds(), runner.CachedRuns()-before, runner.CachedRuns())
 		}
 	}
-	fmt.Printf("(%d simulations, %.1fs, scale %.2f)\n",
-		runner.CachedRuns(), time.Since(start).Seconds(), *scale)
+	effJobs := runner.Jobs
+	if effJobs <= 0 {
+		effJobs = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs, scale %.2f, jobs %d)\n",
+		runner.Simulations(), time.Since(start).Seconds(), *scale, effJobs)
 }

@@ -1,21 +1,27 @@
-// Command secsim runs one benchmark under one memory-protection scheme and
+// Command secsim runs benchmarks under a memory-protection scheme and
 // prints the detailed simulation statistics.
 //
 // Usage:
 //
 //	secsim [-bench mcf] [-scheme snc-lru] [-scale 1.0] [-snc 64] [-ways 0]
-//	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare]
+//	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare] [-jobs N] [-seq]
 //
-// With -compare, all four schemes run and a slowdown summary is printed
-// (one benchmark's slice of the paper's Figure 5).
+// -bench accepts a single benchmark, a comma-separated list, or "all";
+// multi-benchmark runs fan out over the experiment layer's worker pool
+// (-jobs, default GOMAXPROCS) and print in deterministic order. With
+// -compare, all four schemes run per benchmark and a slowdown summary is
+// printed (one benchmark's slice of the paper's Figure 5).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"secureproc/internal/experiments"
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
 	"secureproc/internal/workload"
@@ -36,8 +42,35 @@ func schemeByName(name string) (sim.SchemeKind, error) {
 	}
 }
 
+// benchList expands the -bench flag into validated benchmark names.
+func benchList(arg string) ([]string, error) {
+	if strings.EqualFold(arg, "all") {
+		return workload.BenchmarkNames, nil
+	}
+	var out []string
+	for _, b := range strings.Split(arg, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if _, ok := workload.ByName(b); !ok {
+			return nil, fmt.Errorf("unknown benchmark %q; try -listbench", b)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmarks given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
-	bench := flag.String("bench", "mcf", "benchmark name (see -listbench)")
+	bench := flag.String("bench", "mcf", `benchmark name, comma-separated list, or "all" (see -listbench)`)
 	scheme := flag.String("scheme", "snc-lru", "protection scheme: baseline, xom, snc-lru, snc-norepl")
 	scale := flag.Float64("scale", 1.0, "workload scale")
 	sncKB := flag.Int("snc", 64, "SNC size in KB")
@@ -46,6 +79,8 @@ func main() {
 	l2 := flag.Int("l2", 256, "L2 size in KB")
 	l2ways := flag.Int("l2ways", 4, "L2 associativity")
 	compare := flag.Bool("compare", false, "run all four schemes and print slowdowns")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
 	listBench := flag.Bool("listbench", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -55,70 +90,97 @@ func main() {
 		}
 		return
 	}
-	prof, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try -listbench\n", *bench)
-		os.Exit(1)
+	benches, err := benchList(*bench)
+	if err != nil {
+		fatal(err)
 	}
-	mkConfig := func(k sim.SchemeKind) sim.Config {
-		cfg := sim.DefaultConfig()
-		cfg.Scheme = k
-		cfg.SNC.SizeBytes = *sncKB << 10
-		cfg.SNC.Ways = *ways
-		cfg.Crypto.Latency = *crypto
-		cfg.L2.SizeBytes = *l2 << 10
-		cfg.L2.Ways = *l2ways
-		return cfg
+	runner := experiments.NewRunner(*scale)
+	runner.Jobs = *jobs
+	if *seq {
+		runner.Jobs = 1
 	}
+	mkSpec := func(b string, k sim.SchemeKind) experiments.Spec {
+		return experiments.Spec{
+			Bench: b, Scheme: k,
+			SNCKB: *sncKB, SNCWays: *ways,
+			L2KB: *l2, L2Ways: *l2ways,
+			CryptoLat: *crypto,
+		}
+	}
+	start := time.Now()
 
 	if *compare {
-		base, err := sim.RunProfile(mkConfig(sim.SchemeBaseline), prof, *scale)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		t := stats.NewTable(fmt.Sprintf("%s (scale %.2f, crypto %d cy)", *bench, *scale, *crypto),
-			"scheme", "cycles", "IPC", "slowdown%", "snc-traffic%")
-		t.AddRow("baseline", fmt.Sprint(base.Cycles), fmt.Sprintf("%.2f", base.IPC()), "0.00", "-")
-		for _, k := range []sim.SchemeKind{sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU} {
-			r, err := sim.RunProfile(mkConfig(k), prof, *scale)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		schemes := []sim.SchemeKind{sim.SchemeBaseline, sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU}
+		var specs []experiments.Spec
+		for _, b := range benches {
+			for _, k := range schemes {
+				specs = append(specs, mkSpec(b, k))
 			}
-			t.AddRow(r.Scheme, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.IPC()),
-				fmt.Sprintf("%.2f", sim.Slowdown(r, base)),
-				fmt.Sprintf("%.2f", stats.Pct(r.SNCTraffic(), r.DemandTraffic())))
 		}
-		fmt.Print(t.String())
+		if err := runner.Sweep(context.Background(), specs); err != nil {
+			fatal(err)
+		}
+		for _, b := range benches {
+			base, err := runner.Run(mkSpec(b, sim.SchemeBaseline))
+			if err != nil {
+				fatal(err)
+			}
+			t := stats.NewTable(fmt.Sprintf("%s (scale %.2f, crypto %d cy)", b, *scale, *crypto),
+				"scheme", "cycles", "IPC", "slowdown%", "snc-traffic%")
+			t.AddRow("baseline", fmt.Sprint(base.Cycles), fmt.Sprintf("%.2f", base.IPC()), "0.00", "-")
+			for _, k := range []sim.SchemeKind{sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU} {
+				r, err := runner.Run(mkSpec(b, k))
+				if err != nil {
+					fatal(err)
+				}
+				t.AddRow(r.Scheme, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.IPC()),
+					fmt.Sprintf("%.2f", sim.Slowdown(r, base)),
+					fmt.Sprintf("%.2f", stats.Pct(r.SNCTraffic(), r.DemandTraffic())))
+			}
+			fmt.Print(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs)\n", runner.Simulations(), time.Since(start).Seconds())
 		return
 	}
 
 	k, err := schemeByName(*scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	r, err := sim.RunProfile(mkConfig(k), prof, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	specs := make([]experiments.Spec, len(benches))
+	for i, b := range benches {
+		specs[i] = mkSpec(b, k)
 	}
-	fmt.Printf("benchmark:      %s\n", *bench)
-	fmt.Printf("scheme:         %s\n", r.Scheme)
-	fmt.Printf("cycles:         %d\n", r.Cycles)
-	fmt.Printf("instructions:   %d (IPC %.2f)\n", r.Instructions, r.IPC())
-	fmt.Printf("L1D misses:     %d\n", r.L1DMisses)
-	fmt.Printf("L1I misses:     %d\n", r.L1IMisses)
-	fmt.Printf("L2 misses:      %d (hit rate %.1f%%)\n", r.L2Misses,
-		stats.Pct(r.L2Hits, r.L2Hits+r.L2Misses))
-	fmt.Printf("bus: fills=%d writebacks=%d seqfetch=%d seqspill=%d\n",
-		r.LineFills, r.Writebacks, r.SeqNumFetches, r.SeqNumSpills)
-	if r.SNCQueryHits+r.SNCQueryMisses > 0 {
-		fmt.Printf("SNC: query %d/%d hits, update %d/%d hits, traffic %.2f%% of demand\n",
-			r.SNCQueryHits, r.SNCQueryHits+r.SNCQueryMisses,
-			r.SNCUpdateHits, r.SNCUpdateHits+r.SNCUpdateMiss,
-			stats.Pct(r.SNCTraffic(), r.DemandTraffic()))
+	if err := runner.Sweep(context.Background(), specs); err != nil {
+		fatal(err)
 	}
-	fmt.Printf("stalls: rob=%d mshr=%d dep=%d\n", r.ROBStallCycles, r.MSHRStallCycles, r.DepStallCycles)
+	for i, b := range benches {
+		r, err := runner.Run(specs[i])
+		if err != nil {
+			fatal(err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("benchmark:      %s\n", b)
+		fmt.Printf("scheme:         %s\n", r.Scheme)
+		fmt.Printf("cycles:         %d\n", r.Cycles)
+		fmt.Printf("instructions:   %d (IPC %.2f)\n", r.Instructions, r.IPC())
+		fmt.Printf("L1D misses:     %d\n", r.L1DMisses)
+		fmt.Printf("L1I misses:     %d\n", r.L1IMisses)
+		fmt.Printf("L2 misses:      %d (hit rate %.1f%%)\n", r.L2Misses,
+			stats.Pct(r.L2Hits, r.L2Hits+r.L2Misses))
+		fmt.Printf("bus: fills=%d writebacks=%d seqfetch=%d seqspill=%d\n",
+			r.LineFills, r.Writebacks, r.SeqNumFetches, r.SeqNumSpills)
+		if r.SNCQueryHits+r.SNCQueryMisses > 0 {
+			fmt.Printf("SNC: query %d/%d hits, update %d/%d hits, traffic %.2f%% of demand\n",
+				r.SNCQueryHits, r.SNCQueryHits+r.SNCQueryMisses,
+				r.SNCUpdateHits, r.SNCUpdateHits+r.SNCUpdateMiss,
+				stats.Pct(r.SNCTraffic(), r.DemandTraffic()))
+		}
+		fmt.Printf("stalls: rob=%d mshr=%d dep=%d\n", r.ROBStallCycles, r.MSHRStallCycles, r.DepStallCycles)
+	}
+	if len(benches) > 1 {
+		fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs)\n", runner.Simulations(), time.Since(start).Seconds())
+	}
 }

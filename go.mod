@@ -1,0 +1,3 @@
+module secureproc
+
+go 1.24

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchScale keeps one full sweep around a second of work so the
+// sequential/parallel comparison is dominated by simulation, not setup.
+const benchScale = 0.02
+
+func benchmarkAll(b *testing.B, jobs int) {
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(benchScale)
+		r.Jobs = jobs
+		if got := len(r.All()); got != 7 {
+			b.Fatalf("got %d figures, want 7", got)
+		}
+	}
+}
+
+// BenchmarkAllSequential is the old single-worker sweep; compare against
+// BenchmarkAllParallel to measure the pool's wall-clock speedup (on a
+// ≥4-core machine the parallel sweep is expected to be ≥2× faster).
+func BenchmarkAllSequential(b *testing.B) { benchmarkAll(b, 1) }
+
+// BenchmarkAllParallel fans the same sweep out over GOMAXPROCS workers.
+func BenchmarkAllParallel(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Log("single-CPU machine: parallel sweep degrades to sequential")
+	}
+	benchmarkAll(b, 0)
+}

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
-	"secureproc/internal/workload"
 )
 
 // FigureResult is one regenerated figure: the measured series side by side
@@ -72,19 +73,27 @@ type runKey struct {
 }
 
 // Runner executes and memoizes the simulations behind the figures. Safe for
-// concurrent use.
+// concurrent use: concurrent requests for the same runKey are deduplicated
+// through per-key latches, so every configuration simulates at most once no
+// matter how many goroutines (or pool workers) ask for it.
 type Runner struct {
 	// Scale multiplies every workload's measured length (1.0 = native,
 	// ~200K references per benchmark). Warmup always runs in full.
 	Scale float64
 
+	// Jobs caps the number of simulations the sweep engine runs
+	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces the sequential
+	// path. Set it before the first figure request.
+	Jobs int
+
 	mu    sync.Mutex
-	cache map[runKey]sim.Result
+	cache map[runKey]*entry
+	sims  atomic.Int64
 }
 
 // NewRunner creates a Runner at the given workload scale.
 func NewRunner(scale float64) *Runner {
-	return &Runner{Scale: scale, cache: make(map[runKey]sim.Result)}
+	return &Runner{Scale: scale, cache: make(map[runKey]*entry)}
 }
 
 func (r *Runner) config(k runKey) sim.Config {
@@ -98,25 +107,14 @@ func (r *Runner) config(k runKey) sim.Config {
 	return cfg
 }
 
-// run executes (or recalls) one simulation.
+// run executes (or recalls) one simulation. The figure specs only reference
+// valid benchmarks and configurations, so an error here is a programming
+// bug and panics as before.
 func (r *Runner) run(k runKey) sim.Result {
-	r.mu.Lock()
-	if res, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-	prof, ok := workload.ByName(k.bench)
-	if !ok {
-		panic("experiments: unknown benchmark " + k.bench)
-	}
-	res, err := sim.RunProfile(r.config(k), prof, r.Scale)
+	res, err := r.result(k)
 	if err != nil {
 		panic(err)
 	}
-	r.mu.Lock()
-	r.cache[k] = res
-	r.mu.Unlock()
 	return res
 }
 
@@ -125,168 +123,254 @@ func defaultKey(bench string, scheme sim.SchemeKind) runKey {
 	return runKey{bench: bench, scheme: scheme, sncKB: 64, sncWays: 0, l2KB: 256, l2Ways: 4, cryptoLat: 50}
 }
 
-// slowdowns computes the percent-slowdown series for a scheme across all
-// benchmarks, with optional key tweaks.
-func (r *Runner) slowdowns(name string, scheme sim.SchemeKind, tweak func(*runKey)) stats.Series {
-	vals := make([]float64, len(Benchmarks))
-	for i, b := range Benchmarks {
-		bk := defaultKey(b, sim.SchemeBaseline)
-		k := defaultKey(b, scheme)
-		if tweak != nil {
-			tweak(&k)
-		}
-		vals[i] = sim.Slowdown(r.run(k), r.run(bk))
+// seriesKind selects the metric a measured series reports.
+type seriesKind int
+
+const (
+	// slowdownKind is percent slowdown vs the default insecure baseline.
+	slowdownKind seriesKind = iota
+	// normalizedKind is execution time normalized to the default baseline
+	// (Figure 8).
+	normalizedKind
+	// trafficKind is SNC traffic as a percent of demand traffic (Figure 9);
+	// it needs no baseline run.
+	trafficKind
+)
+
+// seriesSpec declares one measured series: which scheme to run, how to
+// tweak the default configuration, and which metric to report.
+type seriesSpec struct {
+	name   string
+	kind   seriesKind
+	scheme sim.SchemeKind
+	tweak  func(*runKey)
+}
+
+// figureSpec declares one paper figure. The spec is the single source of
+// truth for both the simulations a figure needs (keys) and how its measured
+// series are assembled (build), so the sweep engine can enqueue every run
+// up front and the builder later reads memoized results in deterministic
+// benchmark order.
+type figureSpec struct {
+	id     string // paper figure number ("Figure 5")
+	short  string // CLI name ("fig5")
+	title  string
+	notes  string
+	series []seriesSpec
+	paper  []stats.Series
+}
+
+// key returns the runKey for one series/benchmark cell.
+func (s seriesSpec) key(bench string) runKey {
+	k := defaultKey(bench, s.scheme)
+	if s.tweak != nil {
+		s.tweak(&k)
 	}
-	return stats.NewSeries(name, Benchmarks, vals)
+	return k
+}
+
+// keys lists every simulation the figure needs, deduplicated, in series
+// then benchmark order.
+func (f figureSpec) keys() []runKey {
+	var keys []runKey
+	seen := make(map[runKey]bool)
+	add := func(k runKey) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, s := range f.series {
+		for _, b := range Benchmarks {
+			if s.kind != trafficKind {
+				add(defaultKey(b, sim.SchemeBaseline))
+			}
+			add(s.key(b))
+		}
+	}
+	return keys
+}
+
+// figureSpecs declares all regenerable figures in paper order.
+func figureSpecs() []figureSpec {
+	lat102 := func(k *runKey) { k.cryptoLat = 102 }
+	return []figureSpec{
+		{
+			id: "Figure 3", short: "fig3",
+			title: "performance loss due to critical-path encryption/decryption (XOM, 50-cycle crypto)",
+			series: []seriesSpec{
+				{name: "XOM (measured)", scheme: sim.SchemeXOM},
+			},
+			paper: []stats.Series{PaperFig3XOM},
+		},
+		{
+			id: "Figure 5", short: "fig5",
+			title: "scheme comparison with a 64KB SNC (32K sequence numbers, 4MB coverage)",
+			series: []seriesSpec{
+				{name: "XOM (measured)", scheme: sim.SchemeXOM},
+				{name: "SNC-NoRepl (measured)", scheme: sim.SchemeOTPNoRepl},
+				{name: "SNC-LRU (measured)", scheme: sim.SchemeOTPLRU},
+			},
+			paper: []stats.Series{PaperFig3XOM, PaperFig5NoRepl, PaperFig5LRU},
+		},
+		{
+			id: "Figure 6", short: "fig6",
+			title: "SNC size sweep (LRU): 32KB/64KB/128KB cover 2/4/8MB of memory",
+			series: []seriesSpec{
+				{name: "32KB (measured)", scheme: sim.SchemeOTPLRU, tweak: func(k *runKey) { k.sncKB = 32 }},
+				{name: "64KB (measured)", scheme: sim.SchemeOTPLRU},
+				{name: "128KB (measured)", scheme: sim.SchemeOTPLRU, tweak: func(k *runKey) { k.sncKB = 128 }},
+			},
+			paper: []stats.Series{PaperFig6SNC32, PaperFig6SNC64, PaperFig6SNC128},
+		},
+		{
+			id: "Figure 7", short: "fig7",
+			title: "SNC associativity: fully associative vs 32-way (64KB, LRU)",
+			series: []seriesSpec{
+				{name: "fully assoc (measured)", scheme: sim.SchemeOTPLRU},
+				{name: "32-way (measured)", scheme: sim.SchemeOTPLRU, tweak: func(k *runKey) { k.sncWays = 32 }},
+			},
+			paper: []stats.Series{PaperFig7FullAssoc, PaperFig7Way32},
+			notes: "ammp's strided working set maps into a single 32-way set, recreating the paper's outlier",
+		},
+		{
+			id: "Figure 8", short: "fig8",
+			title: "larger L2 vs L2+SNC at equal chip area (times normalized to insecure 256KB-L2 baseline)",
+			series: []seriesSpec{
+				{name: "XOM-256KL2 (measured)", kind: normalizedKind, scheme: sim.SchemeXOM},
+				{name: "XOM-384KL2 (measured)", kind: normalizedKind, scheme: sim.SchemeXOM,
+					tweak: func(k *runKey) { k.l2KB = 384; k.l2Ways = 6 }},
+				{name: "SNC-32way-LRU-256KL2 (measured)", kind: normalizedKind, scheme: sim.SchemeOTPLRU,
+					tweak: func(k *runKey) { k.sncWays = 32 }},
+			},
+			paper: []stats.Series{PaperFig8XOM256, PaperFig8XOM384, PaperFig8SNC},
+		},
+		{
+			id: "Figure 9", short: "fig9",
+			title: "SNC-induced additional memory traffic (64KB SNC, LRU)",
+			series: []seriesSpec{
+				{name: "traffic % (measured)", kind: trafficKind, scheme: sim.SchemeOTPLRU},
+			},
+			paper: []stats.Series{PaperFig9Traffic},
+			notes: "absolute percentages are sensitive to the synthetic workloads' cold-region weights; the shape (small everywhere, largest for the low-traffic benchmarks) is the reproduced claim",
+		},
+		{
+			id: "Figure 10", short: "fig10",
+			title: "102-cycle encryption/decryption unit (Sandia-class): XOM degrades, OTP is insensitive",
+			series: []seriesSpec{
+				{name: "XOM (measured)", scheme: sim.SchemeXOM, tweak: lat102},
+				{name: "SNC-NoRepl (measured)", scheme: sim.SchemeOTPNoRepl, tweak: lat102},
+				{name: "SNC-LRU (measured)", scheme: sim.SchemeOTPLRU, tweak: lat102},
+			},
+			paper: []stats.Series{PaperFig10XOM, PaperFig10NoRepl, PaperFig10LRU},
+		},
+	}
+}
+
+// build assembles the figure from memoized results (simulating on demand
+// for any key the sweep did not prefetch), in deterministic series then
+// benchmark order, so the output is byte-identical to the sequential path.
+func (r *Runner) build(f figureSpec) FigureResult {
+	measured := make([]stats.Series, len(f.series))
+	for i, s := range f.series {
+		vals := make([]float64, len(Benchmarks))
+		for j, b := range Benchmarks {
+			res := r.run(s.key(b))
+			switch s.kind {
+			case slowdownKind:
+				vals[j] = sim.Slowdown(res, r.run(defaultKey(b, sim.SchemeBaseline)))
+			case normalizedKind:
+				vals[j] = sim.NormalizedTime(res, r.run(defaultKey(b, sim.SchemeBaseline)))
+			case trafficKind:
+				vals[j] = stats.Pct(res.SNCTraffic(), res.DemandTraffic())
+			}
+		}
+		measured[i] = stats.NewSeries(s.name, Benchmarks, vals)
+	}
+	return FigureResult{ID: f.id, Title: f.title, Measured: measured, Paper: f.paper, Notes: f.notes}
+}
+
+// figure sweeps and builds one figure by short name.
+func (r *Runner) figure(short string) FigureResult {
+	for _, f := range figureSpecs() {
+		if f.short == short {
+			if err := r.sweep(context.Background(), f.keys()); err != nil {
+				panic(err)
+			}
+			return r.build(f)
+		}
+	}
+	panic("experiments: unknown figure " + short)
 }
 
 // Figure3 regenerates Figure 3: XOM slowdown over the insecure baseline.
-func (r *Runner) Figure3() FigureResult {
-	return FigureResult{
-		ID:       "Figure 3",
-		Title:    "performance loss due to critical-path encryption/decryption (XOM, 50-cycle crypto)",
-		Measured: []stats.Series{r.slowdowns("XOM (measured)", sim.SchemeXOM, nil)},
-		Paper:    []stats.Series{PaperFig3XOM},
-	}
-}
+func (r *Runner) Figure3() FigureResult { return r.figure("fig3") }
 
 // Figure5 regenerates Figure 5: XOM vs SNC-NoRepl vs SNC-LRU (64KB SNC).
-func (r *Runner) Figure5() FigureResult {
-	return FigureResult{
-		ID:    "Figure 5",
-		Title: "scheme comparison with a 64KB SNC (32K sequence numbers, 4MB coverage)",
-		Measured: []stats.Series{
-			r.slowdowns("XOM (measured)", sim.SchemeXOM, nil),
-			r.slowdowns("SNC-NoRepl (measured)", sim.SchemeOTPNoRepl, nil),
-			r.slowdowns("SNC-LRU (measured)", sim.SchemeOTPLRU, nil),
-		},
-		Paper: []stats.Series{PaperFig3XOM, PaperFig5NoRepl, PaperFig5LRU},
-	}
-}
+func (r *Runner) Figure5() FigureResult { return r.figure("fig5") }
 
 // Figure6 regenerates Figure 6: SNC capacity sweep under LRU.
-func (r *Runner) Figure6() FigureResult {
-	mk := func(name string, kb int) stats.Series {
-		return r.slowdowns(name, sim.SchemeOTPLRU, func(k *runKey) { k.sncKB = kb })
-	}
-	return FigureResult{
-		ID:    "Figure 6",
-		Title: "SNC size sweep (LRU): 32KB/64KB/128KB cover 2/4/8MB of memory",
-		Measured: []stats.Series{
-			mk("32KB (measured)", 32),
-			mk("64KB (measured)", 64),
-			mk("128KB (measured)", 128),
-		},
-		Paper: []stats.Series{PaperFig6SNC32, PaperFig6SNC64, PaperFig6SNC128},
-	}
-}
+func (r *Runner) Figure6() FigureResult { return r.figure("fig6") }
 
 // Figure7 regenerates Figure 7: fully associative vs 32-way SNC.
-func (r *Runner) Figure7() FigureResult {
-	return FigureResult{
-		ID:    "Figure 7",
-		Title: "SNC associativity: fully associative vs 32-way (64KB, LRU)",
-		Measured: []stats.Series{
-			r.slowdowns("fully assoc (measured)", sim.SchemeOTPLRU, nil),
-			r.slowdowns("32-way (measured)", sim.SchemeOTPLRU, func(k *runKey) { k.sncWays = 32 }),
-		},
-		Paper: []stats.Series{PaperFig7FullAssoc, PaperFig7Way32},
-		Notes: "ammp's strided working set maps into a single 32-way set, recreating the paper's outlier",
-	}
-}
+func (r *Runner) Figure7() FigureResult { return r.figure("fig7") }
 
 // Figure8 regenerates Figure 8: equal-area comparison of a larger L2 vs
 // adding the SNC (CACTI: 256KB 4-way L2 + 64KB 32-way SNC ≈ 384KB 6-way L2).
-func (r *Runner) Figure8() FigureResult {
-	norm := func(name string, scheme sim.SchemeKind, tweak func(*runKey)) stats.Series {
-		vals := make([]float64, len(Benchmarks))
-		for i, b := range Benchmarks {
-			bk := defaultKey(b, sim.SchemeBaseline)
-			k := defaultKey(b, scheme)
-			if tweak != nil {
-				tweak(&k)
-			}
-			vals[i] = sim.NormalizedTime(r.run(k), r.run(bk))
-		}
-		return stats.NewSeries(name, Benchmarks, vals)
-	}
-	return FigureResult{
-		ID:    "Figure 8",
-		Title: "larger L2 vs L2+SNC at equal chip area (times normalized to insecure 256KB-L2 baseline)",
-		Measured: []stats.Series{
-			norm("XOM-256KL2 (measured)", sim.SchemeXOM, nil),
-			norm("XOM-384KL2 (measured)", sim.SchemeXOM, func(k *runKey) { k.l2KB = 384; k.l2Ways = 6 }),
-			norm("SNC-32way-LRU-256KL2 (measured)", sim.SchemeOTPLRU, func(k *runKey) { k.sncWays = 32 }),
-		},
-		Paper: []stats.Series{PaperFig8XOM256, PaperFig8XOM384, PaperFig8SNC},
-	}
-}
+func (r *Runner) Figure8() FigureResult { return r.figure("fig8") }
 
 // Figure9 regenerates Figure 9: SNC-induced extra memory traffic as a
 // percentage of demand (L2<->memory) traffic, 64KB LRU SNC.
-func (r *Runner) Figure9() FigureResult {
-	vals := make([]float64, len(Benchmarks))
-	for i, b := range Benchmarks {
-		res := r.run(defaultKey(b, sim.SchemeOTPLRU))
-		vals[i] = stats.Pct(res.SNCTraffic(), res.DemandTraffic())
-	}
-	return FigureResult{
-		ID:       "Figure 9",
-		Title:    "SNC-induced additional memory traffic (64KB SNC, LRU)",
-		Measured: []stats.Series{stats.NewSeries("traffic % (measured)", Benchmarks, vals)},
-		Paper:    []stats.Series{PaperFig9Traffic},
-		Notes:    "absolute percentages are sensitive to the synthetic workloads' cold-region weights; the shape (small everywhere, largest for the low-traffic benchmarks) is the reproduced claim",
-	}
-}
+func (r *Runner) Figure9() FigureResult { return r.figure("fig9") }
 
 // Figure10 regenerates Figure 10: sensitivity to a 102-cycle crypto unit.
-func (r *Runner) Figure10() FigureResult {
-	lat := func(k *runKey) { k.cryptoLat = 102 }
-	return FigureResult{
-		ID:    "Figure 10",
-		Title: "102-cycle encryption/decryption unit (Sandia-class): XOM degrades, OTP is insensitive",
-		Measured: []stats.Series{
-			r.slowdowns("XOM (measured)", sim.SchemeXOM, lat),
-			r.slowdowns("SNC-NoRepl (measured)", sim.SchemeOTPNoRepl, lat),
-			r.slowdowns("SNC-LRU (measured)", sim.SchemeOTPLRU, lat),
-		},
-		Paper: []stats.Series{PaperFig10XOM, PaperFig10NoRepl, PaperFig10LRU},
-	}
-}
+func (r *Runner) Figure10() FigureResult { return r.figure("fig10") }
 
-// All regenerates every figure in paper order.
+// All regenerates every figure in paper order. Every required simulation is
+// enqueued up front and fanned out over the worker pool, then the figures
+// are assembled in deterministic order from the memoized results.
 func (r *Runner) All() []FigureResult {
-	return []FigureResult{
-		r.Figure3(), r.Figure5(), r.Figure6(), r.Figure7(),
-		r.Figure8(), r.Figure9(), r.Figure10(),
+	specs := figureSpecs()
+	var keys []runKey
+	seen := make(map[runKey]bool)
+	for _, f := range specs {
+		for _, k := range f.keys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
 	}
+	if err := r.sweep(context.Background(), keys); err != nil {
+		panic(err)
+	}
+	out := make([]FigureResult, len(specs))
+	for i, f := range specs {
+		out[i] = r.build(f)
+	}
+	return out
 }
 
 // Names lists the regenerable figures.
 func Names() []string {
-	return []string{"fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	specs := figureSpecs()
+	out := make([]string, len(specs))
+	for i, f := range specs {
+		out[i] = f.short
+	}
+	return out
 }
 
-// ByName regenerates one figure by short name ("fig5").
+// ByName regenerates one figure by short name ("fig5"); "figure5" and "5"
+// are accepted as aliases.
 func (r *Runner) ByName(name string) (FigureResult, error) {
-	switch strings.ToLower(name) {
-	case "fig3", "figure3", "3":
-		return r.Figure3(), nil
-	case "fig5", "figure5", "5":
-		return r.Figure5(), nil
-	case "fig6", "figure6", "6":
-		return r.Figure6(), nil
-	case "fig7", "figure7", "7":
-		return r.Figure7(), nil
-	case "fig8", "figure8", "8":
-		return r.Figure8(), nil
-	case "fig9", "figure9", "9":
-		return r.Figure9(), nil
-	case "fig10", "figure10", "10":
-		return r.Figure10(), nil
-	default:
-		return FigureResult{}, fmt.Errorf("experiments: unknown figure %q (have %s)", name, strings.Join(Names(), ", "))
+	n := strings.ToLower(name)
+	for _, f := range figureSpecs() {
+		if n == f.short || n == "figure"+strings.TrimPrefix(f.short, "fig") || n == strings.TrimPrefix(f.short, "fig") {
+			return r.figure(f.short), nil
+		}
 	}
+	return FigureResult{}, fmt.Errorf("experiments: unknown figure %q (have %s)", name, strings.Join(Names(), ", "))
 }
 
 // CachedRuns reports how many distinct simulations have been memoized
@@ -296,6 +380,12 @@ func (r *Runner) CachedRuns() int {
 	defer r.mu.Unlock()
 	return len(r.cache)
 }
+
+// Simulations reports how many simulations actually executed, as opposed to
+// being answered from the memo. With race-free deduplication this equals
+// CachedRuns once all requests have drained — the exactly-once property the
+// concurrency tests assert.
+func (r *Runner) Simulations() int64 { return r.sims.Load() }
 
 // SortedCacheKeys returns a human-readable list of memoized runs.
 func (r *Runner) SortedCacheKeys() []string {

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden figure files")
+
+// goldenScale is the fixed workload scale the goldens are generated at.
+// Changing it (or paperdata.go, or the simulator) regenerates different
+// tables: run `go test ./internal/experiments -run Golden -update`.
+const goldenScale = 0.05
+
+// TestGoldenFigures renders every figure through the parallel sweep engine
+// and compares byte-for-byte against the checked-in goldens, locking both
+// the measured model output and the paperdata.go targets embedded in each
+// table.
+func TestGoldenFigures(t *testing.T) {
+	r := NewRunner(goldenScale)
+	r.Jobs = 4
+	frs := r.All()
+	names := Names()
+	if len(frs) != len(names) {
+		t.Fatalf("All() returned %d figures for %d names", len(frs), len(names))
+	}
+	for i, fr := range frs {
+		got := fr.Render()
+		path := filepath.Join("testdata", names[i]+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to generate)", names[i], err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: rendered figure differs from %s (run with -update after intended changes)\ngot:\n%s",
+				names[i], path, got)
+		}
+	}
+}
+
+// TestGoldenPaperColumns ties the goldens to paperdata.go: the paper-side
+// numbers printed in each golden must be exactly the checked-in paper
+// series, so a paperdata edit cannot drift past the goldens unnoticed.
+func TestGoldenPaperColumns(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	checks := []struct {
+		fig    string
+		bench  string
+		paper  float64
+		series string
+	}{
+		{"fig3", "mcf", 34.76, "XOM (paper)"},
+		{"fig5", "gcc", 18.07, "SNC-NoRepl (paper)"},
+		{"fig6", "mcf", 15.23, "32KB (paper)"},
+		{"fig7", "ammp", 9.62, "32-way (paper)"},
+		{"fig8", "art", 1.35, "XOM-256KL2 (paper)"},
+		{"fig9", "gzip", 1.03, "traffic % (paper)"},
+		{"fig10", "art", 71.21, "XOM (paper)"},
+	}
+	for _, c := range checks {
+		data, err := os.ReadFile(filepath.Join("testdata", c.fig+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", c.fig, err)
+		}
+		cell := fmt.Sprintf("%.2f", c.paper)
+		found := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, c.bench) && strings.Contains(line, cell) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s golden: row %q missing paper value %s (%s)", c.fig, c.bench, cell, c.series)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+// This file is the concurrent sweep engine behind the figures: a
+// singleflight-style memo (per-key latches, so concurrent requests for the
+// same configuration block on one simulation instead of racing or
+// double-computing) plus a context-aware worker pool that fans a list of
+// runKeys out over up to Runner.Jobs goroutines. Every simulation builds
+// its own sim.System, workload stream and RNG, so workers share nothing
+// but the memo.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"secureproc/internal/sim"
+	"secureproc/internal/workload"
+)
+
+// entry is one memo slot. The goroutine that inserts the entry owns the
+// simulation; everyone else blocks on done and then reads res/err.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// result executes (or recalls) the simulation for k, deduplicating
+// concurrent requests for the same key.
+func (r *Runner) result(k runKey) (sim.Result, error) {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[runKey]*entry)
+	}
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	r.cache[k] = e
+	r.mu.Unlock()
+
+	// A panicking simulation must not strand waiters on the latch, and it
+	// must not release them with a zero result and nil error: record the
+	// panic as the entry's error, then re-panic in the owning goroutine.
+	defer func() {
+		if p := recover(); p != nil {
+			e.err = fmt.Errorf("experiments: simulation %s/%s panicked: %v", k.bench, k.scheme, p)
+			close(e.done)
+			panic(p)
+		}
+		close(e.done)
+	}()
+	e.res, e.err = r.simulate(k)
+	return e.res, e.err
+}
+
+// simulate runs one simulation from scratch: fresh profile, fresh stream,
+// fresh system.
+func (r *Runner) simulate(k runKey) (sim.Result, error) {
+	prof, ok := workload.ByName(k.bench)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("experiments: unknown benchmark %q", k.bench)
+	}
+	r.sims.Add(1)
+	return sim.RunProfile(r.config(k), prof, r.Scale)
+}
+
+// jobs resolves the effective worker count.
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sweep memoizes every key, fanning the list out over the worker pool. It
+// returns when all simulations are done, the context is cancelled, or a
+// simulation fails (first error wins; in-flight work is cancelled). With
+// one worker (or one key) it degrades to the plain sequential loop.
+func (r *Runner) sweep(ctx context.Context, keys []runKey) error {
+	n := r.jobs()
+	if n > len(keys) {
+		n = len(keys)
+	}
+	if n <= 1 {
+		for _, k := range keys {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if _, err := r.result(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	work := make(chan runKey)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				if _, err := r.result(k); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for _, k := range keys {
+		select {
+		case work <- k:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Spec is the exported face of a runKey: one simulation in the sweep
+// engine's memo space. The zero value is not useful — start from
+// DefaultSpec and tweak.
+type Spec struct {
+	// Bench is the benchmark name (workload.BenchmarkNames).
+	Bench string
+	// Scheme is the protection scheme to simulate.
+	Scheme sim.SchemeKind
+	// SNCKB and SNCWays configure the sequence number cache (ways 0 =
+	// fully associative).
+	SNCKB, SNCWays int
+	// L2KB and L2Ways configure the unified L2.
+	L2KB, L2Ways int
+	// CryptoLat is the crypto unit latency in cycles.
+	CryptoLat uint64
+}
+
+// DefaultSpec is the paper's standard configuration for a benchmark/scheme:
+// 64KB fully associative SNC, 256KB 4-way L2, 50-cycle crypto.
+func DefaultSpec(bench string, scheme sim.SchemeKind) Spec {
+	return Spec{Bench: bench, Scheme: scheme, SNCKB: 64, L2KB: 256, L2Ways: 4, CryptoLat: 50}
+}
+
+func (s Spec) key() runKey {
+	return runKey{bench: s.Bench, scheme: s.Scheme, sncKB: s.SNCKB, sncWays: s.SNCWays,
+		l2KB: s.L2KB, l2Ways: s.L2Ways, cryptoLat: s.CryptoLat}
+}
+
+// Run executes (or recalls) the simulation for one spec.
+func (r *Runner) Run(s Spec) (sim.Result, error) { return r.result(s.key()) }
+
+// Sweep memoizes every spec using up to Jobs concurrent workers, so a later
+// Run for any of them returns instantly. Specs already memoized cost
+// nothing; duplicate specs are deduplicated.
+func (r *Runner) Sweep(ctx context.Context, specs []Spec) error {
+	keys := make([]runKey, len(specs))
+	for i, s := range specs {
+		keys[i] = s.key()
+	}
+	return r.sweep(ctx, keys)
+}

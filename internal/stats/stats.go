@@ -180,6 +180,12 @@ func (t *Table) String() string {
 
 // Series is a named list of (label, value) pairs, used to compare a measured
 // data series against the series read off a paper figure.
+//
+// A Series is immutable by convention once constructed: Relabel shares the
+// underlying label/value slices, and the experiment layer's worker pool
+// reads package-level paper series from many goroutines concurrently. All
+// methods are read-only and safe for concurrent use; callers must not
+// mutate Labels or Values after construction.
 type Series struct {
 	Name   string
 	Labels []string

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -119,4 +120,37 @@ func TestSpearmanRank(t *testing.T) {
 	if SpearmanRank(tiny, tiny) != 0 {
 		t.Error("degenerate series should return 0")
 	}
+}
+
+// TestSeriesConcurrentReads exercises every read-only Series method from
+// several goroutines sharing the same underlying slices (as the experiment
+// worker pool does with the paper series); under -race this locks in the
+// documented immutable/concurrent-read contract.
+func TestSeriesConcurrentReads(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	s := NewSeries("shared", labels, []float64{4, 1, 3, 2})
+	alias := s.Relabel("alias") // shares the slices on purpose
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.Mean() != 2.5 {
+				t.Error("Mean changed under concurrent reads")
+			}
+			if v, ok := alias.Value("c"); !ok || v != 3 {
+				t.Error("Value changed under concurrent reads")
+			}
+			if l, v := s.Max(); l != "a" || v != 4 {
+				t.Error("Max changed under concurrent reads")
+			}
+			if got := s.RankOrder(); got[0] != "a" {
+				t.Error("RankOrder changed under concurrent reads")
+			}
+			if rho := SpearmanRank(s, alias); rho < 0.999 {
+				t.Errorf("SpearmanRank(s, alias) = %v, want 1", rho)
+			}
+		}()
+	}
+	wg.Wait()
 }

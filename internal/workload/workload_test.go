@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -253,4 +254,58 @@ func TestIFetchEmission(t *testing.T) {
 	if ifetches == 0 {
 		t.Error("gcc should emit instruction fetches")
 	}
+}
+
+// TestByNameReturnsIndependentProfiles asserts the profile constructors
+// hand out fully independent values: the experiment layer's worker pool
+// calls ByName concurrently, and a shared Phase/Region slice would let one
+// worker's stream corrupt another's trace.
+func TestByNameReturnsIndependentProfiles(t *testing.T) {
+	a, _ := ByName("mcf")
+	b, _ := ByName("mcf")
+	if &a.Phases[0] == &b.Phases[0] {
+		t.Fatal("ByName returned aliased Phases slices")
+	}
+	a.Phases[0].Refs = -1
+	a.Phases[0].Regions[0].Weight = -1
+	if b.Phases[0].Refs == -1 || b.Phases[0].Regions[0].Weight == -1 {
+		t.Error("mutating one profile leaked into a second ByName result")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("second profile invalid after mutating the first: %v", err)
+	}
+}
+
+// TestConcurrentStreamsDeterministic generates the same profile's trace
+// from several goroutines at once and checks every stream sees the
+// identical deterministic record sequence (run under -race this also
+// proves NewStream/Next share no mutable state across streams).
+func TestConcurrentStreamsDeterministic(t *testing.T) {
+	prof, _ := ByName("mcf")
+	want := Collect(mustStream(t, prof, 0.02))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _ := ByName("mcf")
+			s, err := NewStream(p, 0.02)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got := Collect(s)
+			if len(got) != len(want) {
+				t.Errorf("trace length %d, want %d", len(got), len(want))
+				return
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Errorf("record %d = %+v, want %+v", j, got[j], want[j])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
