@@ -216,7 +216,7 @@ func BenchmarkAblationMemLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, lat := range []uint64{60, 100, 200} {
 			prof, _ := workload.ByName("art")
-			mk := func(k sim.SchemeKind) sim.Result {
+			mk := func(k sim.SchemeRef) sim.Result {
 				cfg := sim.DefaultConfig()
 				cfg.Scheme = k
 				cfg.DRAM.AccessLatency = lat

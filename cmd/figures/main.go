@@ -1,5 +1,7 @@
 // Command figures regenerates the paper's evaluation (Figures 3, 5-10),
-// printing paper-vs-measured tables for every series.
+// printing paper-vs-measured tables for every series, plus the
+// integrity-overhead extension figI1 (measured only — the paper scopes
+// integrity verification out).
 //
 // Usage:
 //
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale (fraction of native trace length)")
-	fig := flag.String("fig", "", "single figure to regenerate (fig3, fig5, ..., fig10)")
+	fig := flag.String("fig", "", "single figure to regenerate (fig3, fig5, ..., fig10, figI1; see -list)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
 	list := flag.Bool("list", false, "list regenerable figures and exit")

@@ -5,12 +5,16 @@
 //
 //	secsim [-bench mcf] [-scheme snc-lru] [-scale 1.0] [-snc 64] [-ways 0]
 //	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare] [-jobs N] [-seq]
+//	       [-list]
 //
-// -bench accepts a single benchmark, a comma-separated list, or "all";
-// multi-benchmark runs fan out over the experiment layer's worker pool
-// (-jobs, default GOMAXPROCS) and print in deterministic order. With
-// -compare, all four schemes run per benchmark and a slowdown summary is
-// printed (one benchmark's slice of the paper's Figure 5).
+// -scheme accepts any registered scheme reference — a name or alias from
+// the scheme registry, optionally with parameters, e.g. "snc-lru" or
+// "otp-mac:verify=blocking" (see -list). -bench accepts a single
+// benchmark, a comma-separated list, or "all"; multi-benchmark runs fan
+// out over the experiment layer's worker pool (-jobs, default GOMAXPROCS)
+// and print in deterministic order. With -compare, every registered scheme
+// runs per benchmark and a slowdown summary is printed (one benchmark's
+// slice of the paper's Figure 5, extended to the full registry).
 package main
 
 import (
@@ -21,26 +25,12 @@ import (
 	"strings"
 	"time"
 
+	"secureproc/internal/core"
 	"secureproc/internal/experiments"
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
 	"secureproc/internal/workload"
 )
-
-func schemeByName(name string) (sim.SchemeKind, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "base":
-		return sim.SchemeBaseline, nil
-	case "xom":
-		return sim.SchemeXOM, nil
-	case "snc-lru", "lru", "otp":
-		return sim.SchemeOTPLRU, nil
-	case "snc-norepl", "norepl":
-		return sim.SchemeOTPNoRepl, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (baseline, xom, snc-lru, snc-norepl)", name)
-	}
-}
 
 // benchList expands the -bench flag into validated benchmark names.
 func benchList(arg string) ([]string, error) {
@@ -54,7 +44,7 @@ func benchList(arg string) ([]string, error) {
 			continue
 		}
 		if _, ok := workload.ByName(b); !ok {
-			return nil, fmt.Errorf("unknown benchmark %q; try -listbench", b)
+			return nil, fmt.Errorf("unknown benchmark %q; try -list", b)
 		}
 		out = append(out, b)
 	}
@@ -64,26 +54,48 @@ func benchList(arg string) ([]string, error) {
 	return out, nil
 }
 
+// printRegistry lists the registered schemes (with doc lines) and the
+// benchmark names.
+func printRegistry() {
+	fmt.Println("schemes (use with -scheme; parameters as name:k=v,k=v):")
+	for _, d := range core.Descriptors() {
+		alias := ""
+		if len(d.Aliases) > 0 {
+			alias = " (alias " + strings.Join(d.Aliases, ", ") + ")"
+		}
+		fmt.Printf("  %-16s %s%s\n", d.Name, d.Doc, alias)
+	}
+	fmt.Println("benchmarks (use with -bench; comma-separated or \"all\"):")
+	for _, n := range workload.BenchmarkNames {
+		fmt.Printf("  %s\n", n)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }
 
 func main() {
-	bench := flag.String("bench", "mcf", `benchmark name, comma-separated list, or "all" (see -listbench)`)
-	scheme := flag.String("scheme", "snc-lru", "protection scheme: baseline, xom, snc-lru, snc-norepl")
+	bench := flag.String("bench", "mcf", `benchmark name, comma-separated list, or "all" (see -list)`)
+	scheme := flag.String("scheme", "snc-lru", "protection scheme reference (see -list)")
 	scale := flag.Float64("scale", 1.0, "workload scale")
 	sncKB := flag.Int("snc", 64, "SNC size in KB")
 	ways := flag.Int("ways", 0, "SNC associativity (0 = fully associative)")
 	crypto := flag.Uint64("crypto", 50, "crypto unit latency in cycles")
 	l2 := flag.Int("l2", 256, "L2 size in KB")
 	l2ways := flag.Int("l2ways", 4, "L2 associativity")
-	compare := flag.Bool("compare", false, "run all four schemes and print slowdowns")
+	compare := flag.Bool("compare", false, "run every registered scheme and print slowdowns")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
+	list := flag.Bool("list", false, "list registered schemes and benchmarks, then exit")
 	listBench := flag.Bool("listbench", false, "list benchmarks and exit")
 	flag.Parse()
 
+	if *list {
+		printRegistry()
+		return
+	}
 	if *listBench {
 		for _, n := range workload.BenchmarkNames {
 			fmt.Println(n)
@@ -99,9 +111,9 @@ func main() {
 	if *seq {
 		runner.Jobs = 1
 	}
-	mkSpec := func(b string, k sim.SchemeKind) experiments.Spec {
+	mkSpec := func(b string, ref sim.SchemeRef) experiments.Spec {
 		return experiments.Spec{
-			Bench: b, Scheme: k,
+			Bench: b, Scheme: ref,
 			SNCKB: *sncKB, SNCWays: *ways,
 			L2KB: *l2, L2Ways: *l2ways,
 			CryptoLat: *crypto,
@@ -110,11 +122,17 @@ func main() {
 	start := time.Now()
 
 	if *compare {
-		schemes := []sim.SchemeKind{sim.SchemeBaseline, sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU}
+		var schemes []sim.SchemeRef
+		for _, n := range sim.SchemeNames() {
+			if n != sim.SchemeBaseline.Name {
+				schemes = append(schemes, sim.SchemeRef{Name: n})
+			}
+		}
 		var specs []experiments.Spec
 		for _, b := range benches {
-			for _, k := range schemes {
-				specs = append(specs, mkSpec(b, k))
+			specs = append(specs, mkSpec(b, sim.SchemeBaseline))
+			for _, ref := range schemes {
+				specs = append(specs, mkSpec(b, ref))
 			}
 		}
 		if err := runner.Sweep(context.Background(), specs); err != nil {
@@ -126,16 +144,17 @@ func main() {
 				fatal(err)
 			}
 			t := stats.NewTable(fmt.Sprintf("%s (scale %.2f, crypto %d cy)", b, *scale, *crypto),
-				"scheme", "cycles", "IPC", "slowdown%", "snc-traffic%")
-			t.AddRow("baseline", fmt.Sprint(base.Cycles), fmt.Sprintf("%.2f", base.IPC()), "0.00", "-")
-			for _, k := range []sim.SchemeKind{sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU} {
-				r, err := runner.Run(mkSpec(b, k))
+				"scheme", "cycles", "IPC", "slowdown%", "snc-traffic%", "mac-traffic%")
+			t.AddRow("baseline", fmt.Sprint(base.Cycles), fmt.Sprintf("%.2f", base.IPC()), "0.00", "-", "-")
+			for _, ref := range schemes {
+				r, err := runner.Run(mkSpec(b, ref))
 				if err != nil {
 					fatal(err)
 				}
 				t.AddRow(r.Scheme, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.IPC()),
 					fmt.Sprintf("%.2f", sim.Slowdown(r, base)),
-					fmt.Sprintf("%.2f", stats.Pct(r.SNCTraffic(), r.DemandTraffic())))
+					fmt.Sprintf("%.2f", stats.Pct(r.SNCTraffic(), r.DemandTraffic())),
+					fmt.Sprintf("%.2f", stats.Pct(r.MACTraffic(), r.DemandTraffic())))
 			}
 			fmt.Print(t.String())
 		}
@@ -143,13 +162,16 @@ func main() {
 		return
 	}
 
-	k, err := schemeByName(*scheme)
+	ref, err := sim.SchemeByName(*scheme)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr)
+		printRegistry()
+		os.Exit(1)
 	}
 	specs := make([]experiments.Spec, len(benches))
 	for i, b := range benches {
-		specs[i] = mkSpec(b, k)
+		specs[i] = mkSpec(b, ref)
 	}
 	if err := runner.Sweep(context.Background(), specs); err != nil {
 		fatal(err)
@@ -177,6 +199,11 @@ func main() {
 				r.SNCQueryHits, r.SNCQueryHits+r.SNCQueryMisses,
 				r.SNCUpdateHits, r.SNCUpdateHits+r.SNCUpdateMiss,
 				stats.Pct(r.SNCTraffic(), r.DemandTraffic()))
+		}
+		if r.IntegrityVerified > 0 {
+			fmt.Printf("integrity: %d lines verified, mac-fetch=%d mac-update=%d (%.2f%% of demand), verify-lag %d cycles\n",
+				r.IntegrityVerified, r.MACFetches, r.MACUpdates,
+				stats.Pct(r.MACTraffic(), r.DemandTraffic()), r.IntegrityStallCycles)
 		}
 		fmt.Printf("stalls: rob=%d mshr=%d dep=%d\n", r.ROBStallCycles, r.MSHRStallCycles, r.DepStallCycles)
 	}

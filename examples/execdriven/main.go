@@ -60,15 +60,14 @@ done:
 `
 
 func main() {
-	schemes := []sim.SchemeKind{
-		sim.SchemeBaseline, sim.SchemeXOM, sim.SchemeOTPNoRepl, sim.SchemeOTPLRU,
-	}
+	// Every scheme in the registry, in registration order (baseline first):
+	// new registrations show up here without touching this example.
 	var base sim.ProgramResult
 	t := stats.NewTable("execution-driven: 1MB histogram kernel (real SSA-32 program)",
 		"scheme", "exit-code", "instrs", "cycles", "IPC", "slowdown%")
-	for i, k := range schemes {
+	for i, name := range sim.SchemeNames() {
 		cfg := sim.DefaultConfig()
-		cfg.Scheme = k
+		cfg.Scheme = sim.SchemeRef{Name: name}
 		pr, err := sim.RunProgramSource(cfg, kernel, 0x1000, 5_000_000)
 		if err != nil {
 			log.Fatal(err)
@@ -77,9 +76,9 @@ func main() {
 			base = pr
 		} else if pr.ExitCode != base.ExitCode {
 			log.Fatalf("scheme %v changed the program's answer: %d != %d",
-				k, pr.ExitCode, base.ExitCode)
+				name, pr.ExitCode, base.ExitCode)
 		}
-		t.AddRow(k.String(), fmt.Sprint(pr.ExitCode), fmt.Sprint(pr.Instructions),
+		t.AddRow(pr.Scheme, fmt.Sprint(pr.ExitCode), fmt.Sprint(pr.Instructions),
 			fmt.Sprint(pr.Cycles), fmt.Sprintf("%.2f", pr.IPC()),
 			fmt.Sprintf("%.2f", sim.Slowdown(pr.Result, base.Result)))
 	}

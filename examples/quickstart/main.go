@@ -1,7 +1,8 @@
 // Quickstart: the package's two faces in ~60 lines.
 //
-//  1. Timing: how much does memory encryption cost? Run one benchmark under
-//     the insecure baseline, XOM, and the paper's OTP+SNC scheme.
+//  1. Timing: how much does memory encryption cost? Run one benchmark
+//     under every scheme in the registry — the insecure baseline, XOM, the
+//     paper's OTP+SNC schemes, and the integrity/precompute extensions.
 //  2. Function: what do the bytes look like? Encrypt a line with a one-time
 //     pad and watch the ciphertext change on every rewrite.
 //
@@ -12,12 +13,13 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"sort"
 
 	"secureproc"
 )
 
 func main() {
-	// --- 1. Timing: a single benchmark under three schemes. ---
+	// --- 1. Timing: a single benchmark under every registered scheme. ---
 	const bench = "art" // the paper's worst case for XOM
 	cmp, err := secureproc.Compare(bench, 0.3)
 	if err != nil {
@@ -25,10 +27,16 @@ func main() {
 	}
 	fmt.Printf("benchmark %s:\n", bench)
 	fmt.Printf("  baseline      %d cycles\n", cmp.Baseline.Cycles)
-	for _, scheme := range []string{"XOM", "SNC-NoRepl", "SNC-LRU"} {
+	schemes := make([]string, 0, len(cmp.ByScheme))
+	for name := range cmp.ByScheme {
+		schemes = append(schemes, name)
+	}
+	sort.Strings(schemes)
+	for _, scheme := range schemes {
 		fmt.Printf("  %-12s +%.2f%% slowdown\n", scheme, cmp.SlowdownOf(scheme))
 	}
-	fmt.Println("  (XOM pays mem+crypto serially; OTP overlaps them: MAX(mem,crypto)+1)")
+	fmt.Println("  (XOM pays mem+crypto serially; OTP overlaps them: MAX(mem,crypto)+1;")
+	fmt.Println("   OTP+MAC adds overlapped integrity checks, OTP-Pre buffers pads)")
 
 	// --- 2. Function: real counter-mode encryption of a memory line. ---
 	pm, err := secureproc.NewProtectedMemory(secureproc.CipherDES, []byte("8bytekey"), 128)

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"secureproc/internal/integrity"
+	"secureproc/internal/snc"
+)
+
+// The built-in schemes: the four the paper evaluates plus the two
+// extensions this reproduction adds on top of the registry seam. External
+// packages can Register more; these are the ones every CLI and figure spec
+// can count on.
+
+// newOTPWith builds the OTP substrate with the given SNC policy forced.
+func newOTPWith(res Resources, policy snc.Policy) *OTP {
+	sncCfg := res.SNC
+	sncCfg.Policy = policy
+	return NewOTP(res.Bus, res.WBuf, res.Crypto, snc.New(sncCfg))
+}
+
+// otpMACParams validates the otp-mac parameter set.
+func otpMACParams(p Params) (integrity.VerifyPolicy, uint64, error) {
+	for k := range p {
+		if k != "verify" && k != "verify_lat" {
+			return 0, 0, fmt.Errorf("core: otp-mac: unknown parameter %q (verify, verify_lat)", k)
+		}
+	}
+	policy, err := integrity.ParseVerifyPolicy(p.Str("verify", integrity.VerifyOverlap.String()))
+	if err != nil {
+		return 0, 0, err
+	}
+	lat, err := p.Int("verify_lat", integrity.DefaultVerifyLatency)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lat <= 0 {
+		return 0, 0, fmt.Errorf("core: otp-mac: verify_lat must be positive (got %d)", lat)
+	}
+	return policy, uint64(lat), nil
+}
+
+func init() {
+	MustRegister(Descriptor{
+		Name: "baseline",
+		Doc:  "insecure processor: no memory encryption (the paper's reference)",
+		Aliases: []string{
+			"base",
+		},
+		New: func(res Resources, _ Params) (Scheme, error) {
+			return NewBaseline(res.Bus, res.WBuf), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "xom",
+		Doc:     "direct encryption on the memory critical path (Lie et al., ASPLOS 2000)",
+		Aliases: []string{},
+		New: func(res Resources, _ Params) (Scheme, error) {
+			return NewXOM(res.Bus, res.WBuf, res.Crypto), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:     "snc-norepl",
+		Doc:      "one-time-pad encryption, no-replacement SNC; uncovered lines fall back to XOM",
+		Aliases:  []string{"norepl", "otp-norepl"},
+		NeedsSNC: true,
+		New: func(res Resources, _ Params) (Scheme, error) {
+			return newOTPWith(res, snc.NoReplacement), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:     "snc-lru",
+		Doc:      "one-time-pad encryption, LRU SNC (the paper's best scheme)",
+		Aliases:  []string{"lru", "otp"},
+		NeedsSNC: true,
+		New: func(res Resources, _ Params) (Scheme, error) {
+			return newOTPWith(res, snc.LRU), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name: "otp-mac",
+		Doc: "snc-lru plus per-line MAC integrity verification " +
+			"(verify=overlap|blocking, verify_lat=N; what the paper scopes out)",
+		Aliases:  []string{"mac"},
+		NeedsSNC: true,
+		CheckParams: func(p Params) error {
+			_, _, err := otpMACParams(p)
+			return err
+		},
+		New: func(res Resources, p Params) (Scheme, error) {
+			policy, lat, err := otpMACParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return NewOTPMAC(newOTPWith(res, snc.LRU), policy, lat), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name: "otp-precompute",
+		Doc: "snc-lru plus pad retention and sequence-number prediction: " +
+			"SNC hits hide crypto latency entirely (sensitivity upper bound)",
+		Aliases:  []string{"precompute", "otp-pre"},
+		NeedsSNC: true,
+		New: func(res Resources, _ Params) (Scheme, error) {
+			return NewOTPPre(newOTPWith(res, snc.LRU)), nil
+		},
+	})
+}

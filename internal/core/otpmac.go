@@ -1,0 +1,135 @@
+package core
+
+import (
+	"secureproc/internal/crypto/engine"
+	"secureproc/internal/integrity"
+	"secureproc/internal/mem"
+	"secureproc/internal/stats"
+)
+
+// OTPMAC layers integrity verification (a keyed per-line MAC binding
+// contents, address and sequence number — internal/integrity's Verifier,
+// sized by integrity.MACSize) on top of the one-time-pad scheme, answering
+// the question the paper scopes out: what does integrity checking cost on
+// the timing path?
+//
+// The model, per Gassend et al.'s cached-tree observation that hot
+// integrity metadata lives on chip:
+//
+//   - SNC query hit  -> the line's MAC is co-resident in the on-chip
+//     metadata cache: verification hashes the line as it arrives, no extra
+//     traffic.
+//   - SNC query miss -> the MAC is fetched from the off-chip MAC table
+//     alongside the sequence number (one SrcMACFetch bus read);
+//     verification starts when both line and MAC are in.
+//   - Writeback with covered metadata -> MAC recomputed in the write
+//     buffer's shadow, no extra traffic.
+//   - Writeback with uncovered metadata -> the refreshed MAC drains to the
+//     MAC table through the write buffer (one SrcMACUpdate bus write).
+//
+// The verify policy decides whether reads wait for the check
+// (VerifyBlocking) or retire it in the background while the pipeline
+// consumes the data speculatively (VerifyOverlap, Gassend-style). Both
+// policies charge identical traffic and MAC-unit occupancy; only the
+// read-ready cycle differs. Verification itself always happens, so the
+// verified counter and the would-be stall cycles are reported either way.
+type OTPMAC struct {
+	*OTP
+	policy  integrity.VerifyPolicy
+	macUnit *engine.Engine // pipelined hash unit checking/producing MACs
+
+	macFetches  uint64
+	macUpdates  uint64
+	verified    uint64
+	stallCycles uint64 // cycles verification extends past the OTP-ready cycle
+}
+
+// NewOTPMAC wraps an OTP scheme with MAC verification under the given
+// policy; verifyLatency is the MAC unit's per-line hash latency.
+func NewOTPMAC(otp *OTP, policy integrity.VerifyPolicy, verifyLatency uint64) *OTPMAC {
+	return &OTPMAC{
+		OTP:    otp,
+		policy: policy,
+		macUnit: engine.New(engine.Config{
+			Latency:            verifyLatency,
+			InitiationInterval: 1,
+			Ports:              1,
+		}),
+	}
+}
+
+// Name implements Scheme.
+func (m *OTPMAC) Name() string {
+	if m.policy == integrity.VerifyBlocking {
+		return "OTP+MAC-blk"
+	}
+	return "OTP+MAC"
+}
+
+// VerifyPolicy returns the configured verification policy.
+func (m *OTPMAC) VerifyPolicy() integrity.VerifyPolicy { return m.policy }
+
+// ReadLine implements Scheme: OTP timing plus MAC fetch and verification.
+func (m *OTPMAC) ReadLine(now uint64, a Access) uint64 {
+	// Whether the metadata (seq number + MAC) is on chip must be decided
+	// before the OTP read installs the entry. Instruction lines use
+	// VA-derived constant seeds and a static MAC, always resident.
+	covered := a.Instr || m.snc.Contains(a.VA)
+	ready, arrival := m.readLine(now, a)
+	macAvail := arrival
+	if !covered {
+		m.macFetches++
+		macArrival := m.bus.Read(now, mem.SrcMACFetch)
+		macAvail = max64(arrival, macArrival)
+	}
+	verifyDone := m.macUnit.Issue(macAvail)
+	m.verified++
+	if verifyDone > ready {
+		m.stallCycles += verifyDone - ready
+		if m.policy == integrity.VerifyBlocking {
+			ready = verifyDone
+		}
+	}
+	return ready
+}
+
+// WritebackLine implements Scheme: OTP writeback plus the MAC refresh. The
+// hash happens in the write buffer's shadow; only an uncovered MAC-table
+// entry costs bus traffic.
+func (m *OTPMAC) WritebackLine(now uint64, a Access) uint64 {
+	if a.Instr {
+		return m.OTP.WritebackLine(now, a)
+	}
+	covered := m.snc.Contains(a.VA)
+	cpuFree := m.OTP.WritebackLine(now, a)
+	macDone := m.macUnit.Issue(now)
+	if !covered {
+		m.macUpdates++
+		free := m.wbuf.Insert(now, macDone, func(start uint64) uint64 {
+			return m.bus.Write(start, mem.SrcMACUpdate)
+		})
+		cpuFree = max64(cpuFree, free)
+	}
+	return cpuFree
+}
+
+// IntegrityCounters reports verification work for the Result plumbing.
+func (m *OTPMAC) IntegrityCounters() (verified, stallCycles uint64) {
+	return m.verified, m.stallCycles
+}
+
+// Stats implements Scheme.
+func (m *OTPMAC) Stats() *stats.Set {
+	s := m.OTP.Stats()
+	s.Add("mac.fetches", m.macFetches)
+	s.Add("mac.updates", m.macUpdates)
+	s.Add("mac.verified", m.verified)
+	s.Add("mac.stall_cycles", m.stallCycles)
+	return s
+}
+
+// ResetStats implements Scheme.
+func (m *OTPMAC) ResetStats() {
+	m.OTP.ResetStats()
+	m.macFetches, m.macUpdates, m.verified, m.stallCycles = 0, 0, 0, 0
+}

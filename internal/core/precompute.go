@@ -1,0 +1,151 @@
+package core
+
+import (
+	"secureproc/internal/mem"
+	"secureproc/internal/stats"
+)
+
+// OTPPre is the sequence-number-prediction variant of the one-time-pad
+// scheme: because the pad for (address, seq) is deterministic, the chip can
+// retain the pad it just computed and precompute the next-expected one —
+// after a writeback increments a line's sequence number, the encryption pad
+// it just generated is exactly the decryption pad the next read needs. With
+// the pad already sitting in the pad buffer, an SNC hit exposes only the
+// one-cycle XOR: crypto latency vanishes from the hit path entirely, making
+// OTPPre the sensitivity knob for "how much of OTP's residual cost is pad
+// generation?" (With the paper's 50-cycle unit against a 100-cycle memory
+// the pad is usually hidden anyway; crank Crypto.Latency past the memory
+// round trip and the difference appears.)
+//
+// On an SNC miss the true sequence number still has to be fetched and
+// decrypted before the prediction can be checked; a correct prediction
+// skips the dependent pad generation (one crypto latency off the miss
+// chain), a wrong one falls back to the full Algorithm 1 path.
+//
+// The pad buffer is modelled as unbounded — an idealization that makes
+// OTPPre the upper bound of what prediction can buy, which is what a
+// sensitivity knob should measure.
+type OTPPre struct {
+	*OTP
+
+	// padFor[lineVA] is the sequence number whose pad is precomputed and
+	// buffered for that line; absence means no prediction.
+	padFor map[uint64]uint16
+	// instrPad marks instruction lines whose (constant-seed) pad has been
+	// generated once and retained.
+	instrPad map[uint64]bool
+
+	padHits      uint64
+	padMisses    uint64
+	hiddenCycles uint64 // crypto cycles the buffered pads took off the critical path
+}
+
+// NewOTPPre wraps an OTP scheme with pad retention and sequence-number
+// prediction.
+func NewOTPPre(otp *OTP) *OTPPre {
+	return &OTPPre{
+		OTP:      otp,
+		padFor:   make(map[uint64]uint16),
+		instrPad: make(map[uint64]bool),
+	}
+}
+
+// Name implements Scheme.
+func (p *OTPPre) Name() string { return "OTP-Pre" }
+
+// ReadLine implements Scheme.
+func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
+	if a.Instr {
+		p.instrReads++
+		if p.instrPad[a.PA] {
+			// Constant-seed pad already buffered: only the XOR remains.
+			p.padHits++
+			arrival := p.bus.Read(now, mem.SrcLineFill)
+			return arrival + 1
+		}
+		// Cold instruction line: generate and retain the pad.
+		p.padMisses++
+		p.instrPad[a.PA] = true
+		pad := p.crypto.Issue(now)
+		arrival := p.bus.Read(now, mem.SrcLineFill)
+		if pad > arrival {
+			p.hiddenCycles += pad - arrival // future reads of this line save this
+		}
+		return max64(arrival, pad) + 1
+	}
+	seq, hit := p.snc.Query(a.VA)
+	if hit {
+		p.queryHits++
+		arrival := p.bus.Read(now, mem.SrcLineFill)
+		if want, ok := p.padFor[a.VA]; ok && want == seq {
+			// Predicted pad is buffered: the read is ready at arrival+XOR
+			// no matter the crypto latency.
+			p.padHits++
+			return arrival + 1
+		}
+		// No (or stale) prediction: generate the pad now, retain it.
+		p.padMisses++
+		p.padFor[a.VA] = seq
+		pad := p.crypto.Issue(now)
+		if pad > arrival {
+			p.hiddenCycles += pad - arrival
+		}
+		return max64(arrival, pad) + 1
+	}
+	// SNC miss (LRU policy underneath): Algorithm 1's query-miss arm, with
+	// the final pad generation skipped when the fetched sequence number
+	// confirms the prediction.
+	p.queryMisses++
+	arrival := p.bus.Read(now, mem.SrcLineFill)
+	seqArrival := p.bus.Read(now, mem.SrcSeqNumFetch)
+	p.seqFetches++
+	seqPlain := p.crypto.Issue(seqArrival) // decrypt the stored seq number
+	trueSeq := p.seqMem[a.VA]
+	p.installFetched(now, a.VA)
+	if want, ok := p.padFor[a.VA]; ok && want == trueSeq {
+		p.padHits++
+		return max64(arrival, seqPlain) + 1
+	}
+	p.padMisses++
+	p.padFor[a.VA] = trueSeq
+	pad := p.crypto.Issue(seqPlain) // generate (and retain) the pad
+	if pad > max64(arrival, seqPlain) {
+		p.hiddenCycles += pad - max64(arrival, seqPlain)
+	}
+	return max64(arrival, pad) + 1
+}
+
+// WritebackLine implements Scheme: normal OTP writeback, then record that
+// the encryption pad for the incremented sequence number doubles as the
+// precomputed decryption pad for the line's next read.
+func (p *OTPPre) WritebackLine(now uint64, a Access) uint64 {
+	cpuFree := p.OTP.WritebackLine(now, a)
+	if !a.Instr {
+		if seq, ok := p.snc.Peek(a.VA); ok {
+			p.padFor[a.VA] = seq
+		} else {
+			// Uncovered writeback (entry not resident): any buffered pad
+			// is stale now.
+			delete(p.padFor, a.VA)
+		}
+	}
+	return cpuFree
+}
+
+// PadPredictions reports hit/miss counts of the pad buffer (diagnostics).
+func (p *OTPPre) PadPredictions() (hits, misses uint64) { return p.padHits, p.padMisses }
+
+// Stats implements Scheme.
+func (p *OTPPre) Stats() *stats.Set {
+	s := p.OTP.Stats()
+	s.Add("pre.pad_hits", p.padHits)
+	s.Add("pre.pad_misses", p.padMisses)
+	s.Add("pre.hidden_cycles", p.hiddenCycles)
+	return s
+}
+
+// ResetStats implements Scheme.
+func (p *OTPPre) ResetStats() {
+	p.OTP.ResetStats()
+	p.padHits, p.padMisses, p.hiddenCycles = 0, 0, 0
+}

@@ -1,0 +1,255 @@
+// Scheme registry: protection schemes are described by Descriptors and
+// constructed by name, so adding a scheme is a registration, not a switch
+// arm. The four paper schemes and the two integrity/precompute extensions
+// register themselves in builtin.go; external packages may Register more.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"secureproc/internal/crypto/engine"
+	"secureproc/internal/mem"
+	"secureproc/internal/snc"
+)
+
+// Params carries free-form scheme parameters (e.g. "verify" -> "blocking").
+// A nil map means "no parameters". Params travel inside Refs and must be
+// treated as immutable once a Ref is built.
+type Params map[string]string
+
+// Canonical renders the parameters as a sorted "k=v,k=v" string — the
+// stable identity used for memo keys and round-trippable through ParseRef.
+func (p Params) Canonical() string {
+	if len(p) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + p[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Int reads an integer parameter, falling back to def when absent.
+func (p Params) Int(key string, def int) (int, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("core: parameter %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// Str reads a string parameter, falling back to def when absent.
+func (p Params) Str(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Ref names a registered scheme plus its construction parameters. The zero
+// Ref is invalid (no scheme selected); build one from a descriptor name or
+// via ParseRef.
+type Ref struct {
+	// Name is the registry name ("baseline", "snc-lru", "otp-mac", ...).
+	Name string
+	// Params tunes the scheme's constructor; nil for defaults.
+	Params Params
+}
+
+// Canonical renders the Ref as "name" or "name:k=v,k=v" (params sorted) —
+// a stable, comparable identity accepted back by ParseRef.
+func (r Ref) Canonical() string {
+	if ps := r.Params.Canonical(); ps != "" {
+		return r.Name + ":" + ps
+	}
+	return r.Name
+}
+
+// String implements fmt.Stringer as the canonical form.
+func (r Ref) String() string { return r.Canonical() }
+
+// ParseRef parses "name" or "name:k=v,k=v" into a Ref. It does not consult
+// the registry; pair it with Lookup to validate the name.
+func ParseRef(s string) (Ref, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Ref{}, fmt.Errorf("core: empty scheme reference")
+	}
+	r := Ref{Name: name}
+	if !hasParams {
+		return r, nil
+	}
+	r.Params = make(Params)
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return Ref{}, fmt.Errorf("core: malformed scheme parameter %q (want k=v)", kv)
+		}
+		r.Params[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	if len(r.Params) == 0 {
+		r.Params = nil
+	}
+	return r, nil
+}
+
+// Resources bundles the shared machine components a scheme constructor may
+// wire into: the memory bus, the write buffer, the crypto engine, the SNC
+// configuration (the scheme decides whether to instantiate an SNC) and the
+// L2 line size.
+type Resources struct {
+	Bus    *mem.Bus
+	WBuf   *mem.WriteBuffer
+	Crypto *engine.Engine
+	// SNC is the sequence-number-cache configuration from the system
+	// config; schemes that use an SNC call snc.New on (a copy of) it.
+	SNC snc.Config
+	// LineBytes is the L2 line size the scheme protects.
+	LineBytes int
+}
+
+// Descriptor describes one registrable protection scheme.
+type Descriptor struct {
+	// Name is the canonical registry name (lower-case, hyphenated).
+	Name string
+	// Doc is a one-line description printed by CLI listings.
+	Doc string
+	// Aliases are alternative lookup names ("lru" for "snc-lru").
+	Aliases []string
+	// NeedsSNC marks schemes whose configuration validation must include
+	// the SNC (size, line-size match with L2).
+	NeedsSNC bool
+	// CheckParams validates construction parameters without building the
+	// scheme. A nil CheckParams means the scheme accepts no parameters.
+	CheckParams func(Params) error
+	// New constructs the scheme over the shared resources.
+	New func(Resources, Params) (Scheme, error)
+}
+
+// checkParams applies CheckParams, defaulting to "no parameters accepted".
+func (d Descriptor) checkParams(p Params) error {
+	if d.CheckParams != nil {
+		return d.CheckParams(p)
+	}
+	if len(p) > 0 {
+		return fmt.Errorf("core: scheme %q accepts no parameters (got %s)", d.Name, p.Canonical())
+	}
+	return nil
+}
+
+var (
+	regMu      sync.RWMutex
+	regOrder   []string              // canonical names in registration order
+	regByName  = map[string]string{} // lower-cased name/alias -> canonical name
+	regSchemes = map[string]Descriptor{}
+)
+
+// Register adds a scheme descriptor to the registry. Names and aliases are
+// case-insensitive and must be unique across the registry.
+func Register(d Descriptor) error {
+	if d.Name == "" || d.New == nil {
+		return fmt.Errorf("core: descriptor needs a name and a constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	keys := append([]string{d.Name}, d.Aliases...)
+	for _, k := range keys {
+		if prev, ok := regByName[strings.ToLower(k)]; ok {
+			return fmt.Errorf("core: scheme name %q already registered (by %q)", k, prev)
+		}
+	}
+	for _, k := range keys {
+		regByName[strings.ToLower(k)] = d.Name
+	}
+	regSchemes[d.Name] = d
+	regOrder = append(regOrder, d.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error, for package init time.
+func MustRegister(d Descriptor) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a scheme name or alias (case-insensitive) to its
+// descriptor. The error for an unknown name lists the registry contents.
+func Lookup(name string) (Descriptor, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	canon, ok := regByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Descriptor{}, fmt.Errorf("core: unknown scheme %q (registered: %s)",
+			name, strings.Join(regOrder, ", "))
+	}
+	return regSchemes[canon], nil
+}
+
+// LookupRef resolves and validates a full scheme reference: the name must
+// be registered and the parameters must pass the descriptor's checks.
+func LookupRef(r Ref) (Descriptor, error) {
+	if r.Name == "" {
+		regMu.RLock()
+		names := strings.Join(regOrder, ", ")
+		regMu.RUnlock()
+		return Descriptor{}, fmt.Errorf("core: no scheme selected (registered: %s)", names)
+	}
+	d, err := Lookup(r.Name)
+	if err != nil {
+		return Descriptor{}, err
+	}
+	if err := d.checkParams(r.Params); err != nil {
+		return Descriptor{}, err
+	}
+	return d, nil
+}
+
+// Build constructs the scheme a Ref describes over the given resources.
+func Build(r Ref, res Resources) (Scheme, error) {
+	d, err := LookupRef(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.New(res, r.Params)
+}
+
+// Names lists the registered canonical scheme names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+// Descriptors lists the registered descriptors in registration order.
+func Descriptors() []Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Descriptor, 0, len(regOrder))
+	for _, n := range regOrder {
+		out = append(out, regSchemes[n])
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"secureproc/internal/crypto/engine"
+	"secureproc/internal/integrity"
+	"secureproc/internal/mem"
+	"secureproc/internal/snc"
+)
+
+func testResources() Resources {
+	return Resources{
+		Bus:       mem.NewBus(mem.DefaultDRAMConfig()),
+		WBuf:      mem.NewWriteBuffer(8),
+		Crypto:    engine.New(engine.DefaultConfig()),
+		SNC:       snc.DefaultConfig(),
+		LineBytes: 128,
+	}
+}
+
+func TestBuiltinRegistrations(t *testing.T) {
+	want := []string{"baseline", "xom", "snc-norepl", "snc-lru", "otp-mac", "otp-precompute"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("registry too small: %v", got)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Fatalf("registration order: got %v, want prefix %v", got, want)
+		}
+	}
+	if len(Descriptors()) != len(got) {
+		t.Error("Descriptors/Names length mismatch")
+	}
+	for _, d := range Descriptors() {
+		if d.Doc == "" {
+			t.Errorf("%s: no doc line", d.Name)
+		}
+	}
+}
+
+func TestLookupAliasesAndErrors(t *testing.T) {
+	for alias, want := range map[string]string{
+		"LRU": "snc-lru", "otp": "snc-lru", "Base": "baseline",
+		"MAC": "otp-mac", "otp-pre": "otp-precompute", " xom ": "xom",
+	} {
+		d, err := Lookup(alias)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", alias, err)
+			continue
+		}
+		if d.Name != want {
+			t.Errorf("Lookup(%q) = %q, want %q", alias, d.Name, want)
+		}
+	}
+	_, err := Lookup("enigma")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-name error should list %q: %v", n, err)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndZeroValues(t *testing.T) {
+	if err := Register(Descriptor{}); err == nil {
+		t.Error("empty descriptor accepted")
+	}
+	dup := Descriptor{Name: "XOM", New: func(Resources, Params) (Scheme, error) { return nil, nil }}
+	if err := Register(dup); err == nil {
+		t.Error("duplicate name (case-insensitive) accepted")
+	}
+	aliasDup := Descriptor{
+		Name:    "brand-new",
+		Aliases: []string{"lru"},
+		New:     func(Resources, Params) (Scheme, error) { return nil, nil },
+	}
+	if err := Register(aliasDup); err == nil {
+		t.Error("duplicate alias accepted")
+	}
+	if _, err := Lookup("brand-new"); err == nil {
+		t.Error("failed registration leaked into the registry")
+	}
+}
+
+func TestRefParseAndCanonical(t *testing.T) {
+	for in, want := range map[string]string{
+		"snc-lru":                                "snc-lru",
+		"otp-mac:verify=blocking":                "otp-mac:verify=blocking",
+		"otp-mac:verify_lat=90, verify=blocking": "otp-mac:verify=blocking,verify_lat=90",
+		"otp-mac:":                               "otp-mac",
+	} {
+		ref, err := ParseRef(in)
+		if err != nil {
+			t.Errorf("ParseRef(%q): %v", in, err)
+			continue
+		}
+		if ref.Canonical() != want {
+			t.Errorf("ParseRef(%q).Canonical() = %q, want %q", in, ref.Canonical(), want)
+		}
+		back, err := ParseRef(ref.Canonical())
+		if err != nil || back.Canonical() != want {
+			t.Errorf("canonical form %q does not round-trip", want)
+		}
+	}
+	for _, bad := range []string{"", ":x=1", "name:broken"} {
+		if _, err := ParseRef(bad); err == nil {
+			t.Errorf("ParseRef(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLookupRefValidatesParams(t *testing.T) {
+	if _, err := LookupRef(Ref{}); err == nil || !strings.Contains(err.Error(), "no scheme selected") {
+		t.Errorf("zero Ref: %v", err)
+	}
+	if _, err := LookupRef(Ref{Name: "baseline", Params: Params{"k": "v"}}); err == nil {
+		t.Error("params accepted by parameterless scheme")
+	}
+	if _, err := LookupRef(Ref{Name: "otp-mac", Params: Params{"verify": "blocking", "verify_lat": "64"}}); err != nil {
+		t.Errorf("valid otp-mac params rejected: %v", err)
+	}
+	if _, err := LookupRef(Ref{Name: "otp-mac", Params: Params{"verify_lat": "zero"}}); err == nil {
+		t.Error("non-integer verify_lat accepted")
+	}
+}
+
+func TestBuildConstructsEveryBuiltin(t *testing.T) {
+	wantName := map[string]string{
+		"baseline": "baseline", "xom": "XOM",
+		"snc-norepl": "SNC-NoRepl", "snc-lru": "SNC-LRU",
+		"otp-mac": "OTP+MAC", "otp-precompute": "OTP-Pre",
+	}
+	for _, n := range Names() {
+		s, err := Build(Ref{Name: n}, testResources())
+		if err != nil {
+			t.Errorf("Build(%s): %v", n, err)
+			continue
+		}
+		if want := wantName[n]; s.Name() != want {
+			t.Errorf("Build(%s).Name() = %q, want %q", n, s.Name(), want)
+		}
+	}
+	s, err := Build(Ref{Name: "otp-mac", Params: Params{"verify": "blocking"}}, testResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "OTP+MAC-blk" {
+		t.Errorf("blocking variant name = %q", s.Name())
+	}
+}
+
+// TestOTPMACTiming pins the unit-level integrity timing model: blocking
+// verification delays a read by the MAC check, overlap does not, and
+// uncovered lines cost a MAC fetch on the bus.
+func TestOTPMACTiming(t *testing.T) {
+	build := func(policy integrity.VerifyPolicy) (*OTPMAC, *mem.Bus) {
+		res := testResources()
+		otp := newOTPWith(res, snc.LRU)
+		return NewOTPMAC(otp, policy, 80), res.Bus
+	}
+	a := Access{PA: 0x1000, VA: 0x1000}
+
+	blk, _ := build(integrity.VerifyBlocking)
+	// Warm the SNC entry so the read is a query hit (covered metadata).
+	blk.snc.TryInstall(a.VA, 1)
+	ready := blk.ReadLine(0, a)
+	// Covered hit: line at 108 (100 + 8 transfer), pad at 50, OTP ready at
+	// 109; the 80-cycle MAC check starts at arrival → 188.
+	if ready != 188 {
+		t.Errorf("blocking covered read ready at %d, want 188", ready)
+	}
+	if v, stall := blk.IntegrityCounters(); v != 1 || stall != 79 {
+		t.Errorf("counters = (%d, %d), want (1, 79)", v, stall)
+	}
+
+	ovl, bus := build(integrity.VerifyOverlap)
+	ovl.snc.TryInstall(a.VA, 1)
+	ready = ovl.ReadLine(0, a)
+	if ready != 109 {
+		t.Errorf("overlap covered read ready at %d, want 109 (OTP timing)", ready)
+	}
+	if v, stall := ovl.IntegrityCounters(); v != 1 || stall != 79 {
+		t.Errorf("overlap still verifies in background: (%d, %d), want (1, 79)", v, stall)
+	}
+	if bus.MACTransactions() != 0 {
+		t.Error("covered read should not fetch a MAC")
+	}
+
+	// Uncovered read: the MAC rides the bus with the sequence number.
+	ovl2, bus2 := build(integrity.VerifyOverlap)
+	ovl2.ReadLine(0, Access{PA: 0x2000, VA: 0x2000})
+	if bus2.Transactions[mem.SrcMACFetch] != 1 {
+		t.Errorf("uncovered read made %d MAC fetches, want 1", bus2.Transactions[mem.SrcMACFetch])
+	}
+}
+
+// TestOTPPrePadRetention pins the precompute model: a second read of a line
+// (no intervening writeback) and a read after a writeback both find the
+// pad buffered, so only the XOR cycle shows; readiness never exceeds plain
+// OTP's.
+func TestOTPPrePadRetention(t *testing.T) {
+	res := testResources()
+	// A slow crypto unit makes the hidden latency visible.
+	res.Crypto = engine.New(engine.Config{Latency: 300, InitiationInterval: 1, Ports: 1})
+	p := NewOTPPre(newOTPWith(res, snc.LRU))
+	a := Access{PA: 0x1000, VA: 0x1000}
+	p.snc.TryInstall(a.VA, 5)
+
+	first := p.ReadLine(0, a)
+	if first <= 109 {
+		t.Errorf("cold read at %d should expose the 300-cycle pad", first)
+	}
+	second := p.ReadLine(1000, a)
+	if second != 1000+108+1 {
+		t.Errorf("warm read ready at %d, want %d (arrival+XOR)", second, 1000+108+1)
+	}
+
+	// Writeback increments the seq; its encryption pad doubles as the next
+	// read's decryption pad.
+	p.WritebackLine(2000, a)
+	third := p.ReadLine(3000, a)
+	if third != 3000+108+1 {
+		t.Errorf("post-writeback read ready at %d, want %d", third, 3000+108+1)
+	}
+	if hits, _ := p.PadPredictions(); hits < 2 {
+		t.Errorf("expected ≥2 pad-buffer hits, got %d", hits)
+	}
+}

@@ -185,21 +185,28 @@ func (o *OTP) SNC() *snc.SNC { return o.snc }
 
 // ReadLine implements Scheme.
 func (o *OTP) ReadLine(now uint64, a Access) uint64 {
+	ready, _ := o.readLine(now, a)
+	return ready
+}
+
+// readLine is ReadLine plus the raw line-arrival cycle, which integrity
+// wrappers need to time MAC verification against.
+func (o *OTP) readLine(now uint64, a Access) (ready, arrival uint64) {
 	if a.Instr {
 		// Instructions: seed is derived from the VA alone (they are never
 		// written back), so the pad always starts with the read.
 		o.instrReads++
 		pad := o.crypto.Issue(now)
-		arrival := o.bus.Read(now, mem.SrcLineFill)
-		return max64(arrival, pad) + 1
+		arrival = o.bus.Read(now, mem.SrcLineFill)
+		return max64(arrival, pad) + 1, arrival
 	}
 	seq, hit := o.snc.Query(a.VA)
 	_ = seq
 	if hit {
 		o.queryHits++
 		pad := o.crypto.Issue(now)
-		arrival := o.bus.Read(now, mem.SrcLineFill)
-		return max64(arrival, pad) + 1
+		arrival = o.bus.Read(now, mem.SrcLineFill)
+		return max64(arrival, pad) + 1, arrival
 	}
 	o.queryMisses++
 	switch o.policy {
@@ -207,19 +214,19 @@ func (o *OTP) ReadLine(now uint64, a Access) uint64 {
 		// Algorithm 1, query-miss arm: fetch the encrypted sequence number
 		// (a full memory round trip), decrypt it, then generate pads; the
 		// demand line fetch proceeds in parallel.
-		arrival := o.bus.Read(now, mem.SrcLineFill)
+		arrival = o.bus.Read(now, mem.SrcLineFill)
 		seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
 		o.seqFetches++
 		seqPlain := o.crypto.Issue(seqArrival) // decrypt the seq number
 		pad := o.crypto.Issue(seqPlain)        // encrypt the seeds
 		o.installFetched(now, a.VA)
-		return max64(arrival, pad) + 1
+		return max64(arrival, pad) + 1, arrival
 	default: // NoReplacement
 		// Uncovered line: it was encrypted directly (XOM-style), so the
 		// read pays the serial decrypt.
 		o.directReads++
-		arrival := o.bus.Read(now, mem.SrcLineFill)
-		return o.crypto.Issue(arrival)
+		arrival = o.bus.Read(now, mem.SrcLineFill)
+		return o.crypto.Issue(arrival), arrival
 	}
 }
 

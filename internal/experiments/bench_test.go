@@ -13,8 +13,8 @@ func benchmarkAll(b *testing.B, jobs int) {
 	for i := 0; i < b.N; i++ {
 		r := NewRunner(benchScale)
 		r.Jobs = jobs
-		if got := len(r.All()); got != 7 {
-			b.Fatalf("got %d figures, want 7", got)
+		if got, want := len(r.All()), len(Names()); got != want {
+			b.Fatalf("got %d figures, want %d", got, want)
 		}
 	}
 }

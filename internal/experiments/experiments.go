@@ -13,47 +13,61 @@ import (
 )
 
 // FigureResult is one regenerated figure: the measured series side by side
-// with the series read off the paper.
+// with the series read off the paper (when the paper has one — figures that
+// explore beyond the paper, like Figure I1, carry measured series only).
 type FigureResult struct {
-	// ID is the paper figure number ("Figure 5").
+	// ID is the figure number ("Figure 5").
 	ID string
 	// Title describes the experiment.
 	Title string
 	// Measured and Paper are parallel lists of series over the benchmarks.
+	// Paper is empty for measured-only figures.
 	Measured []stats.Series
 	Paper    []stats.Series
 	// Notes records modelling caveats for this figure.
 	Notes string
 }
 
-// Render formats the figure as a text table: for every paper series the
-// matching measured series is printed next to it.
+// Render formats the figure as a text table: for every measured series the
+// matching paper series (if any) is printed next to it.
 func (fr FigureResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", fr.ID, fr.Title)
+	withPaper := len(fr.Paper) == len(fr.Measured) && len(fr.Paper) > 0
 	cols := []string{"benchmark"}
-	for i := range fr.Paper {
-		cols = append(cols, fr.Paper[i].Name, fr.Measured[i].Name)
+	for i := range fr.Measured {
+		if withPaper {
+			cols = append(cols, fr.Paper[i].Name)
+		}
+		cols = append(cols, fr.Measured[i].Name)
 	}
 	t := stats.NewTable("", cols...)
 	for _, bench := range Benchmarks {
 		cells := []string{bench}
-		for i := range fr.Paper {
-			pv, _ := fr.Paper[i].Value(bench)
+		for i := range fr.Measured {
+			if withPaper {
+				pv, _ := fr.Paper[i].Value(bench)
+				cells = append(cells, fmt.Sprintf("%.2f", pv))
+			}
 			mv, _ := fr.Measured[i].Value(bench)
-			cells = append(cells, fmt.Sprintf("%.2f", pv), fmt.Sprintf("%.2f", mv))
+			cells = append(cells, fmt.Sprintf("%.2f", mv))
 		}
 		t.AddRow(cells...)
 	}
 	cells := []string{"average"}
-	for i := range fr.Paper {
-		cells = append(cells, fmt.Sprintf("%.2f", fr.Paper[i].Mean()), fmt.Sprintf("%.2f", fr.Measured[i].Mean()))
+	for i := range fr.Measured {
+		if withPaper {
+			cells = append(cells, fmt.Sprintf("%.2f", fr.Paper[i].Mean()))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", fr.Measured[i].Mean()))
 	}
 	t.AddRow(cells...)
 	b.WriteString(t.String())
-	for i := range fr.Paper {
-		rho := stats.SpearmanRank(fr.Paper[i], fr.Measured[i])
-		fmt.Fprintf(&b, "rank correlation (%s vs measured): %.2f\n", fr.Paper[i].Name, rho)
+	if withPaper {
+		for i := range fr.Paper {
+			rho := stats.SpearmanRank(fr.Paper[i], fr.Measured[i])
+			fmt.Fprintf(&b, "rank correlation (%s vs measured): %.2f\n", fr.Paper[i].Name, rho)
+		}
 	}
 	if fr.Notes != "" {
 		fmt.Fprintf(&b, "notes: %s\n", fr.Notes)
@@ -61,10 +75,12 @@ func (fr FigureResult) Render() string {
 	return b.String()
 }
 
-// runKey identifies one memoized simulation.
+// runKey identifies one memoized simulation. The scheme is its canonical
+// registry reference ("snc-lru", "otp-mac:verify=blocking"), which keeps
+// the key comparable while letting specs name any registered scheme.
 type runKey struct {
 	bench     string
-	scheme    sim.SchemeKind
+	scheme    string
 	sncKB     int
 	sncWays   int
 	l2KB      int
@@ -96,15 +112,19 @@ func NewRunner(scale float64) *Runner {
 	return &Runner{Scale: scale, cache: make(map[runKey]*entry)}
 }
 
-func (r *Runner) config(k runKey) sim.Config {
+func (r *Runner) config(k runKey) (sim.Config, error) {
 	cfg := sim.DefaultConfig()
-	cfg.Scheme = k.scheme
+	ref, err := sim.SchemeByName(k.scheme)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Scheme = ref
 	cfg.SNC.SizeBytes = k.sncKB << 10
 	cfg.SNC.Ways = k.sncWays
 	cfg.L2.SizeBytes = k.l2KB << 10
 	cfg.L2.Ways = k.l2Ways
 	cfg.Crypto.Latency = k.cryptoLat
-	return cfg
+	return cfg, nil
 }
 
 // run executes (or recalls) one simulation. The figure specs only reference
@@ -118,8 +138,9 @@ func (r *Runner) run(k runKey) sim.Result {
 	return res
 }
 
-// defaultKey is the paper's standard configuration for a scheme.
-func defaultKey(bench string, scheme sim.SchemeKind) runKey {
+// defaultKey is the paper's standard configuration for a scheme (named by
+// its canonical registry reference).
+func defaultKey(bench string, scheme string) runKey {
 	return runKey{bench: bench, scheme: scheme, sncKB: 64, sncWays: 0, l2KB: 256, l2Ways: 4, cryptoLat: 50}
 }
 
@@ -137,12 +158,14 @@ const (
 	trafficKind
 )
 
-// seriesSpec declares one measured series: which scheme to run, how to
-// tweak the default configuration, and which metric to report.
+// seriesSpec declares one measured series: which scheme to run (by
+// canonical registry reference, so new registered schemes are immediately
+// addressable from figure specs), how to tweak the default configuration,
+// and which metric to report.
 type seriesSpec struct {
 	name   string
 	kind   seriesKind
-	scheme sim.SchemeKind
+	scheme string
 	tweak  func(*runKey)
 }
 
@@ -183,13 +206,24 @@ func (f figureSpec) keys() []runKey {
 	for _, s := range f.series {
 		for _, b := range Benchmarks {
 			if s.kind != trafficKind {
-				add(defaultKey(b, sim.SchemeBaseline))
+				add(defaultKey(b, schemeBaseline))
 			}
 			add(s.key(b))
 		}
 	}
 	return keys
 }
+
+// Canonical registry references used by the figure specs.
+const (
+	schemeBaseline   = "baseline"
+	schemeXOM        = "xom"
+	schemeNoRepl     = "snc-norepl"
+	schemeLRU        = "snc-lru"
+	schemeMACOverlap = "otp-mac:verify=overlap"
+	schemeMACBlock   = "otp-mac:verify=blocking"
+	schemePrecompute = "otp-precompute"
+)
 
 // figureSpecs declares all regenerable figures in paper order.
 func figureSpecs() []figureSpec {
@@ -199,7 +233,7 @@ func figureSpecs() []figureSpec {
 			id: "Figure 3", short: "fig3",
 			title: "performance loss due to critical-path encryption/decryption (XOM, 50-cycle crypto)",
 			series: []seriesSpec{
-				{name: "XOM (measured)", scheme: sim.SchemeXOM},
+				{name: "XOM (measured)", scheme: schemeXOM},
 			},
 			paper: []stats.Series{PaperFig3XOM},
 		},
@@ -207,9 +241,9 @@ func figureSpecs() []figureSpec {
 			id: "Figure 5", short: "fig5",
 			title: "scheme comparison with a 64KB SNC (32K sequence numbers, 4MB coverage)",
 			series: []seriesSpec{
-				{name: "XOM (measured)", scheme: sim.SchemeXOM},
-				{name: "SNC-NoRepl (measured)", scheme: sim.SchemeOTPNoRepl},
-				{name: "SNC-LRU (measured)", scheme: sim.SchemeOTPLRU},
+				{name: "XOM (measured)", scheme: schemeXOM},
+				{name: "SNC-NoRepl (measured)", scheme: schemeNoRepl},
+				{name: "SNC-LRU (measured)", scheme: schemeLRU},
 			},
 			paper: []stats.Series{PaperFig3XOM, PaperFig5NoRepl, PaperFig5LRU},
 		},
@@ -217,9 +251,9 @@ func figureSpecs() []figureSpec {
 			id: "Figure 6", short: "fig6",
 			title: "SNC size sweep (LRU): 32KB/64KB/128KB cover 2/4/8MB of memory",
 			series: []seriesSpec{
-				{name: "32KB (measured)", scheme: sim.SchemeOTPLRU, tweak: func(k *runKey) { k.sncKB = 32 }},
-				{name: "64KB (measured)", scheme: sim.SchemeOTPLRU},
-				{name: "128KB (measured)", scheme: sim.SchemeOTPLRU, tweak: func(k *runKey) { k.sncKB = 128 }},
+				{name: "32KB (measured)", scheme: schemeLRU, tweak: func(k *runKey) { k.sncKB = 32 }},
+				{name: "64KB (measured)", scheme: schemeLRU},
+				{name: "128KB (measured)", scheme: schemeLRU, tweak: func(k *runKey) { k.sncKB = 128 }},
 			},
 			paper: []stats.Series{PaperFig6SNC32, PaperFig6SNC64, PaperFig6SNC128},
 		},
@@ -227,8 +261,8 @@ func figureSpecs() []figureSpec {
 			id: "Figure 7", short: "fig7",
 			title: "SNC associativity: fully associative vs 32-way (64KB, LRU)",
 			series: []seriesSpec{
-				{name: "fully assoc (measured)", scheme: sim.SchemeOTPLRU},
-				{name: "32-way (measured)", scheme: sim.SchemeOTPLRU, tweak: func(k *runKey) { k.sncWays = 32 }},
+				{name: "fully assoc (measured)", scheme: schemeLRU},
+				{name: "32-way (measured)", scheme: schemeLRU, tweak: func(k *runKey) { k.sncWays = 32 }},
 			},
 			paper: []stats.Series{PaperFig7FullAssoc, PaperFig7Way32},
 			notes: "ammp's strided working set maps into a single 32-way set, recreating the paper's outlier",
@@ -237,10 +271,10 @@ func figureSpecs() []figureSpec {
 			id: "Figure 8", short: "fig8",
 			title: "larger L2 vs L2+SNC at equal chip area (times normalized to insecure 256KB-L2 baseline)",
 			series: []seriesSpec{
-				{name: "XOM-256KL2 (measured)", kind: normalizedKind, scheme: sim.SchemeXOM},
-				{name: "XOM-384KL2 (measured)", kind: normalizedKind, scheme: sim.SchemeXOM,
+				{name: "XOM-256KL2 (measured)", kind: normalizedKind, scheme: schemeXOM},
+				{name: "XOM-384KL2 (measured)", kind: normalizedKind, scheme: schemeXOM,
 					tweak: func(k *runKey) { k.l2KB = 384; k.l2Ways = 6 }},
-				{name: "SNC-32way-LRU-256KL2 (measured)", kind: normalizedKind, scheme: sim.SchemeOTPLRU,
+				{name: "SNC-32way-LRU-256KL2 (measured)", kind: normalizedKind, scheme: schemeLRU,
 					tweak: func(k *runKey) { k.sncWays = 32 }},
 			},
 			paper: []stats.Series{PaperFig8XOM256, PaperFig8XOM384, PaperFig8SNC},
@@ -249,7 +283,7 @@ func figureSpecs() []figureSpec {
 			id: "Figure 9", short: "fig9",
 			title: "SNC-induced additional memory traffic (64KB SNC, LRU)",
 			series: []seriesSpec{
-				{name: "traffic % (measured)", kind: trafficKind, scheme: sim.SchemeOTPLRU},
+				{name: "traffic % (measured)", kind: trafficKind, scheme: schemeLRU},
 			},
 			paper: []stats.Series{PaperFig9Traffic},
 			notes: "absolute percentages are sensitive to the synthetic workloads' cold-region weights; the shape (small everywhere, largest for the low-traffic benchmarks) is the reproduced claim",
@@ -258,11 +292,22 @@ func figureSpecs() []figureSpec {
 			id: "Figure 10", short: "fig10",
 			title: "102-cycle encryption/decryption unit (Sandia-class): XOM degrades, OTP is insensitive",
 			series: []seriesSpec{
-				{name: "XOM (measured)", scheme: sim.SchemeXOM, tweak: lat102},
-				{name: "SNC-NoRepl (measured)", scheme: sim.SchemeOTPNoRepl, tweak: lat102},
-				{name: "SNC-LRU (measured)", scheme: sim.SchemeOTPLRU, tweak: lat102},
+				{name: "XOM (measured)", scheme: schemeXOM, tweak: lat102},
+				{name: "SNC-NoRepl (measured)", scheme: schemeNoRepl, tweak: lat102},
+				{name: "SNC-LRU (measured)", scheme: schemeLRU, tweak: lat102},
 			},
 			paper: []stats.Series{PaperFig10XOM, PaperFig10NoRepl, PaperFig10LRU},
+		},
+		{
+			id: "Figure I1", short: "figI1",
+			title: "integrity verification on the timing path: what MAC fetch/verify adds on top of OTP (64KB SNC, LRU; measured only — the paper scopes integrity out)",
+			series: []seriesSpec{
+				{name: "SNC-LRU (measured)", scheme: schemeLRU},
+				{name: "OTP+MAC overlap (measured)", scheme: schemeMACOverlap},
+				{name: "OTP+MAC blocking (measured)", scheme: schemeMACBlock},
+				{name: "OTP-Pre (measured)", scheme: schemePrecompute},
+			},
+			notes: "overlap retires verification off the critical path (Gassend-style speculation) and costs only the MAC-table traffic; blocking holds every L2 miss for the 80-cycle MAC check; OTP-Pre bounds what pad precompute can recover",
 		},
 	}
 }
@@ -278,9 +323,9 @@ func (r *Runner) build(f figureSpec) FigureResult {
 			res := r.run(s.key(b))
 			switch s.kind {
 			case slowdownKind:
-				vals[j] = sim.Slowdown(res, r.run(defaultKey(b, sim.SchemeBaseline)))
+				vals[j] = sim.Slowdown(res, r.run(defaultKey(b, schemeBaseline)))
 			case normalizedKind:
-				vals[j] = sim.NormalizedTime(res, r.run(defaultKey(b, sim.SchemeBaseline)))
+				vals[j] = sim.NormalizedTime(res, r.run(defaultKey(b, schemeBaseline)))
 			case trafficKind:
 				vals[j] = stats.Pct(res.SNCTraffic(), res.DemandTraffic())
 			}
@@ -326,6 +371,11 @@ func (r *Runner) Figure9() FigureResult { return r.figure("fig9") }
 // Figure10 regenerates Figure 10: sensitivity to a 102-cycle crypto unit.
 func (r *Runner) Figure10() FigureResult { return r.figure("fig10") }
 
+// FigureI1 generates the integrity-overhead figure: OTP+MAC (overlap and
+// blocking verification) and OTP-Precompute against SNC-LRU across all 11
+// benchmarks — the question the paper leaves open.
+func (r *Runner) FigureI1() FigureResult { return r.figure("figI1") }
+
 // All regenerates every figure in paper order. Every required simulation is
 // enqueued up front and fanned out over the worker pool, then the figures
 // are assembled in deterministic order from the memoized results.
@@ -361,12 +411,13 @@ func Names() []string {
 	return out
 }
 
-// ByName regenerates one figure by short name ("fig5"); "figure5" and "5"
-// are accepted as aliases.
+// ByName regenerates one figure by short name ("fig5", case-insensitive);
+// "figure5" and "5" are accepted as aliases.
 func (r *Runner) ByName(name string) (FigureResult, error) {
 	n := strings.ToLower(name)
 	for _, f := range figureSpecs() {
-		if n == f.short || n == "figure"+strings.TrimPrefix(f.short, "fig") || n == strings.TrimPrefix(f.short, "fig") {
+		short := strings.ToLower(f.short)
+		if n == short || n == "figure"+strings.TrimPrefix(short, "fig") || n == strings.TrimPrefix(short, "fig") {
 			return r.figure(f.short), nil
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"secureproc/internal/sim"
 	"secureproc/internal/stats"
 )
 
@@ -144,15 +145,73 @@ func TestRunnerMemoizes(t *testing.T) {
 	}
 }
 
-func TestAllReturnsSevenFigures(t *testing.T) {
-	// Smoke test at tiny scale: all figures build and carry paper series.
+func TestAllReturnsEveryFigure(t *testing.T) {
+	// Smoke test at tiny scale: all figures build; the seven paper figures
+	// carry paper series, the integrity extension is measured-only.
 	frs := NewRunner(0.05).All()
-	if len(frs) != 7 {
-		t.Fatalf("got %d figures, want 7", len(frs))
+	if len(frs) != 8 {
+		t.Fatalf("got %d figures, want 8", len(frs))
 	}
 	for _, fr := range frs {
-		if len(fr.Measured) == 0 || len(fr.Measured) != len(fr.Paper) {
+		if len(fr.Measured) == 0 {
+			t.Errorf("%s: no measured series", fr.ID)
+			continue
+		}
+		if fr.ID == "Figure I1" {
+			if len(fr.Paper) != 0 {
+				t.Errorf("%s: unexpected paper series", fr.ID)
+			}
+			continue
+		}
+		if len(fr.Measured) != len(fr.Paper) {
 			t.Errorf("%s: series mismatch", fr.ID)
+		}
+	}
+}
+
+func TestFigureI1IntegrityShapes(t *testing.T) {
+	fr := NewRunner(expScale).FigureI1()
+	if len(fr.Measured) != 4 {
+		t.Fatalf("figure I1 needs 4 series, got %d", len(fr.Measured))
+	}
+	lru, overlap, blocking, pre := fr.Measured[0], fr.Measured[1], fr.Measured[2], fr.Measured[3]
+	// Overlapped verification costs only MAC-table traffic: within noise
+	// of bare OTP on average.
+	if overlap.Mean() > lru.Mean()+0.5 {
+		t.Errorf("overlap verification should be near-free: lru=%.2f overlap=%.2f", lru.Mean(), overlap.Mean())
+	}
+	// Blocking verification holds every miss for the MAC check: a large,
+	// XOM-like cost.
+	if blocking.Mean() < 5*overlap.Mean()+5 {
+		t.Errorf("blocking verification should dominate: overlap=%.2f blocking=%.2f",
+			overlap.Mean(), blocking.Mean())
+	}
+	// Pad precompute never hurts.
+	for i, b := range Benchmarks {
+		if pre.Values[i] > lru.Values[i]+0.1 {
+			t.Errorf("%s: OTP-Pre %.2f above SNC-LRU %.2f", b, pre.Values[i], lru.Values[i])
+		}
+	}
+	// Measured-only figures must still render fully.
+	out := fr.Render()
+	for _, want := range []string{"Figure I1", "OTP+MAC blocking (measured)", "average", "notes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if strings.Contains(out, "rank correlation") {
+		t.Error("measured-only figure rendered a paper rank correlation")
+	}
+}
+
+func TestSchemesResolvableThroughRegistry(t *testing.T) {
+	// Every scheme reference the figure specs name must resolve through
+	// the registry — the seam the specs now depend on.
+	for _, f := range figureSpecs() {
+		for _, s := range f.series {
+			if _, err := sim.SchemeByName(s.scheme); err != nil {
+				t.Errorf("%s series %q: scheme %q not resolvable: %v", f.id, s.name, s.scheme, err)
+			}
 		}
 	}
 }

@@ -64,8 +64,12 @@ func (r *Runner) simulate(k runKey) (sim.Result, error) {
 	if !ok {
 		return sim.Result{}, fmt.Errorf("experiments: unknown benchmark %q", k.bench)
 	}
+	cfg, err := r.config(k)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %w", err)
+	}
 	r.sims.Add(1)
-	return sim.RunProfile(r.config(k), prof, r.Scale)
+	return sim.RunProfile(cfg, prof, r.Scale)
 }
 
 // jobs resolves the effective worker count.
@@ -143,8 +147,9 @@ feed:
 type Spec struct {
 	// Bench is the benchmark name (workload.BenchmarkNames).
 	Bench string
-	// Scheme is the protection scheme to simulate.
-	Scheme sim.SchemeKind
+	// Scheme is the protection scheme to simulate: any registered scheme
+	// reference (sim.SchemeBaseline, or one built via sim.SchemeByName).
+	Scheme sim.SchemeRef
 	// SNCKB and SNCWays configure the sequence number cache (ways 0 =
 	// fully associative).
 	SNCKB, SNCWays int
@@ -156,12 +161,12 @@ type Spec struct {
 
 // DefaultSpec is the paper's standard configuration for a benchmark/scheme:
 // 64KB fully associative SNC, 256KB 4-way L2, 50-cycle crypto.
-func DefaultSpec(bench string, scheme sim.SchemeKind) Spec {
+func DefaultSpec(bench string, scheme sim.SchemeRef) Spec {
 	return Spec{Bench: bench, Scheme: scheme, SNCKB: 64, L2KB: 256, L2Ways: 4, CryptoLat: 50}
 }
 
 func (s Spec) key() runKey {
-	return runKey{bench: s.Bench, scheme: s.Scheme, sncKB: s.SNCKB, sncWays: s.SNCWays,
+	return runKey{bench: s.Bench, scheme: s.Scheme.Canonical(), sncKB: s.SNCKB, sncWays: s.SNCWays,
 		l2KB: s.L2KB, l2Ways: s.L2Ways, cryptoLat: s.CryptoLat}
 }
 

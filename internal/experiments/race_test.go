@@ -57,7 +57,7 @@ func TestConcurrentSweepSharedSpecs(t *testing.T) {
 	r.Jobs = 4
 	var specs []Spec
 	for _, b := range []string{"gzip", "mesa", "vpr"} {
-		for _, k := range []sim.SchemeKind{sim.SchemeBaseline, sim.SchemeXOM, sim.SchemeOTPLRU} {
+		for _, k := range []sim.SchemeRef{sim.SchemeBaseline, sim.SchemeXOM, sim.SchemeOTPLRU} {
 			specs = append(specs, DefaultSpec(b, k))
 		}
 	}

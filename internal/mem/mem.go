@@ -52,6 +52,12 @@ const (
 	SrcSeqNumFetch
 	// SrcSeqNumSpill is an SNC replacement writing a sequence number out.
 	SrcSeqNumSpill
+	// SrcMACFetch is an integrity-scheme read of a line's MAC from the
+	// off-chip MAC table.
+	SrcMACFetch
+	// SrcMACUpdate is an integrity-scheme write refreshing a line's MAC
+	// after a writeback.
+	SrcMACUpdate
 	numSources
 )
 
@@ -66,6 +72,10 @@ func (s TrafficSource) String() string {
 		return "seqnum-fetch"
 	case SrcSeqNumSpill:
 		return "seqnum-spill"
+	case SrcMACFetch:
+		return "mac-fetch"
+	case SrcMACUpdate:
+		return "mac-update"
 	default:
 		return "unknown"
 	}
@@ -138,6 +148,12 @@ func (b *Bus) DemandTransactions() uint64 {
 // numerator).
 func (b *Bus) SNCTransactions() uint64 {
 	return b.Transactions[SrcSeqNumFetch] + b.Transactions[SrcSeqNumSpill]
+}
+
+// MACTransactions returns the integrity-induced extra traffic (MAC fetches
+// plus MAC table updates).
+func (b *Bus) MACTransactions() uint64 {
+	return b.Transactions[SrcMACFetch] + b.Transactions[SrcMACUpdate]
 }
 
 // Config returns the bus/DRAM configuration.

@@ -31,7 +31,7 @@ done:
 	sys  r1
 `
 
-func runWalker(t *testing.T, scheme SchemeKind) ProgramResult {
+func runWalker(t *testing.T, scheme SchemeRef) ProgramResult {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Scheme = scheme
@@ -102,7 +102,7 @@ func TestExecDrivenSmallProgram(t *testing.T) {
 		li   r1, 0
 		sys  r1
 	`
-	run := func(k SchemeKind) ProgramResult {
+	run := func(k SchemeRef) ProgramResult {
 		cfg := DefaultConfig()
 		cfg.Scheme = k
 		pr, err := RunProgramSource(cfg, fib, 0x1000, 100_000)

@@ -16,35 +16,52 @@ import (
 	"secureproc/internal/workload"
 )
 
-// SchemeKind selects the memory-protection scheme.
-type SchemeKind int
+// SchemeRef selects the memory-protection scheme: a registry name plus
+// optional construction parameters (core.Ref). Schemes are resolved through
+// the core registry, so new schemes registered there are immediately
+// selectable here without touching this package.
+type SchemeRef = core.Ref
 
-const (
+// SchemeParams carries free-form scheme parameters inside a SchemeRef.
+type SchemeParams = core.Params
+
+// References to the built-in schemes (the four the paper evaluates plus
+// the two registry-era extensions); any registered name works equally via
+// SchemeByName.
+var (
 	// SchemeBaseline is the insecure processor.
-	SchemeBaseline SchemeKind = iota
+	SchemeBaseline = SchemeRef{Name: "baseline"}
 	// SchemeXOM is direct encryption on the critical path.
-	SchemeXOM
+	SchemeXOM = SchemeRef{Name: "xom"}
 	// SchemeOTPLRU is one-time-pad encryption with an LRU SNC.
-	SchemeOTPLRU
+	SchemeOTPLRU = SchemeRef{Name: "snc-lru"}
 	// SchemeOTPNoRepl is one-time-pad encryption with a no-replacement SNC.
-	SchemeOTPNoRepl
+	SchemeOTPNoRepl = SchemeRef{Name: "snc-norepl"}
+	// SchemeOTPMAC is snc-lru plus MAC integrity verification.
+	SchemeOTPMAC = SchemeRef{Name: "otp-mac"}
+	// SchemeOTPPrecompute is snc-lru plus pad precompute/retention.
+	SchemeOTPPrecompute = SchemeRef{Name: "otp-precompute"}
 )
 
-// String names the scheme as in the paper's figures.
-func (k SchemeKind) String() string {
-	switch k {
-	case SchemeBaseline:
-		return "baseline"
-	case SchemeXOM:
-		return "XOM"
-	case SchemeOTPLRU:
-		return "SNC-LRU"
-	case SchemeOTPNoRepl:
-		return "SNC-NoRepl"
-	default:
-		return "unknown"
+// SchemeByName resolves a scheme reference string — "snc-lru" or
+// "otp-mac:verify=blocking" — against the registry, validating both the
+// name (aliases accepted) and the parameters. The error for an unknown
+// name lists every registered scheme.
+func SchemeByName(s string) (SchemeRef, error) {
+	ref, err := core.ParseRef(s)
+	if err != nil {
+		return SchemeRef{}, err
 	}
+	d, err := core.LookupRef(ref)
+	if err != nil {
+		return SchemeRef{}, err
+	}
+	ref.Name = d.Name // canonicalize aliases
+	return ref, nil
 }
+
+// SchemeNames lists the registered scheme names in registration order.
+func SchemeNames() []string { return core.Names() }
 
 // Config is a full system configuration.
 type Config struct {
@@ -55,7 +72,7 @@ type Config struct {
 	DRAM   mem.DRAMConfig
 	Crypto engine.Config
 	SNC    snc.Config
-	Scheme SchemeKind
+	Scheme SchemeRef
 	// WriteBufferDepth is the number of outstanding writebacks tolerated.
 	WriteBufferDepth int
 }
@@ -93,7 +110,11 @@ func (c Config) Validate() error {
 	if err := c.Crypto.Validate(); err != nil {
 		return err
 	}
-	if c.Scheme == SchemeOTPLRU || c.Scheme == SchemeOTPNoRepl {
+	d, err := core.LookupRef(c.Scheme)
+	if err != nil {
+		return fmt.Errorf("sim: invalid scheme: %w", err)
+	}
+	if d.NeedsSNC {
 		if err := c.SNC.Validate(); err != nil {
 			return err
 		}
@@ -118,17 +139,24 @@ type Result struct {
 	L2Misses  uint64
 	L2Hits    uint64
 
-	// Bus traffic by source (Figure 9).
+	// Bus traffic by source (Figure 9; MAC columns for integrity schemes,
+	// Figure I1).
 	LineFills     uint64
 	Writebacks    uint64
 	SeqNumFetches uint64
 	SeqNumSpills  uint64
+	MACFetches    uint64
+	MACUpdates    uint64
 
 	// SNC behaviour (zero for non-OTP schemes).
 	SNCQueryHits   uint64
 	SNCQueryMisses uint64
 	SNCUpdateHits  uint64
 	SNCUpdateMiss  uint64
+
+	// Integrity verification (zero for schemes without MACs).
+	IntegrityVerified    uint64
+	IntegrityStallCycles uint64
 
 	// CPU stall decomposition.
 	ROBStallCycles  uint64
@@ -150,6 +178,10 @@ func (r Result) DemandTraffic() uint64 { return r.LineFills + r.Writebacks }
 // SNCTraffic returns seq-number fetches + spills (the Figure 9 numerator).
 func (r Result) SNCTraffic() uint64 { return r.SeqNumFetches + r.SeqNumSpills }
 
+// MACTraffic returns integrity-induced extra traffic (MAC fetches +
+// updates), the Figure I1 traffic numerator.
+func (r Result) MACTraffic() uint64 { return r.MACFetches + r.MACUpdates }
+
 // System is an assembled machine ready to consume a trace.
 type System struct {
 	cfg    Config
@@ -161,14 +193,15 @@ type System struct {
 	wbuf   *mem.WriteBuffer
 	crypto *engine.Engine
 	scheme core.Scheme
-	otp    *core.OTP // non-nil for OTP schemes
 
 	// Measurement snapshot taken at the warmup/measurement boundary.
 	cycles0, instr0                  uint64
 	robStall0, mshrStall0, depStall0 uint64
 }
 
-// New assembles a system from cfg.
+// New assembles a system from cfg. The protection scheme is constructed
+// through the core registry from cfg.Scheme, so any registered scheme —
+// built-in or externally registered — is selectable by reference.
 func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -183,23 +216,17 @@ func New(cfg Config) (*System, error) {
 		wbuf:   mem.NewWriteBuffer(cfg.WriteBufferDepth),
 		crypto: engine.New(cfg.Crypto),
 	}
-	switch cfg.Scheme {
-	case SchemeBaseline:
-		s.scheme = core.NewBaseline(s.bus, s.wbuf)
-	case SchemeXOM:
-		s.scheme = core.NewXOM(s.bus, s.wbuf, s.crypto)
-	case SchemeOTPLRU, SchemeOTPNoRepl:
-		sncCfg := cfg.SNC
-		if cfg.Scheme == SchemeOTPLRU {
-			sncCfg.Policy = snc.LRU
-		} else {
-			sncCfg.Policy = snc.NoReplacement
-		}
-		s.otp = core.NewOTP(s.bus, s.wbuf, s.crypto, snc.New(sncCfg))
-		s.scheme = s.otp
-	default:
-		return nil, fmt.Errorf("sim: unknown scheme %d", cfg.Scheme)
+	scheme, err := core.Build(cfg.Scheme, core.Resources{
+		Bus:       s.bus,
+		WBuf:      s.wbuf,
+		Crypto:    s.crypto,
+		SNC:       cfg.SNC,
+		LineBytes: cfg.L2.LineBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
+	s.scheme = scheme
 	return s, nil
 }
 
@@ -335,7 +362,7 @@ func (s *System) Run(stream workload.Stream, warmupRecords int) Result {
 
 func (s *System) result() Result {
 	r := Result{
-		Scheme:          s.cfg.Scheme.String(),
+		Scheme:          s.scheme.Name(),
 		Cycles:          s.cpu.Cycles() - s.cycles0,
 		Instructions:    s.cpu.Retired() - s.instr0,
 		L1DMisses:       s.l1d.Misses,
@@ -346,16 +373,25 @@ func (s *System) result() Result {
 		Writebacks:      s.bus.Transactions[mem.SrcWriteback],
 		SeqNumFetches:   s.bus.Transactions[mem.SrcSeqNumFetch],
 		SeqNumSpills:    s.bus.Transactions[mem.SrcSeqNumSpill],
+		MACFetches:      s.bus.Transactions[mem.SrcMACFetch],
+		MACUpdates:      s.bus.Transactions[mem.SrcMACUpdate],
 		ROBStallCycles:  s.cpu.ROBStallCycles - s.robStall0,
 		MSHRStallCycles: s.cpu.MSHRStallCycles - s.mshrStall0,
 		DepStallCycles:  s.cpu.DepStallCycles - s.depStall0,
 	}
-	if s.otp != nil {
-		sn := s.otp.SNC()
+	// Schemes expose optional capability interfaces; the registry keeps
+	// sim decoupled from the concrete scheme set.
+	if sp, ok := s.scheme.(interface{ SNC() *snc.SNC }); ok {
+		sn := sp.SNC()
 		r.SNCQueryHits = sn.QueryHits
 		r.SNCQueryMisses = sn.QueryMisses
 		r.SNCUpdateHits = sn.UpdateHits
 		r.SNCUpdateMiss = sn.UpdateMisses
+	}
+	if iv, ok := s.scheme.(interface {
+		IntegrityCounters() (verified, stallCycles uint64)
+	}); ok {
+		r.IntegrityVerified, r.IntegrityStallCycles = iv.IntegrityCounters()
 	}
 	return r
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"secureproc/internal/workload"
@@ -47,22 +48,67 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 	}
 }
 
-func TestSchemeKindString(t *testing.T) {
-	names := map[SchemeKind]string{
-		SchemeBaseline:  "baseline",
-		SchemeXOM:       "XOM",
-		SchemeOTPLRU:    "SNC-LRU",
-		SchemeOTPNoRepl: "SNC-NoRepl",
-		SchemeKind(99):  "unknown",
+func TestSchemeDisplayNames(t *testing.T) {
+	// The display names baked into the paper's figure labels must survive
+	// the registry refactor: Result.Scheme comes from the constructed
+	// scheme, keyed by the registry reference.
+	names := map[string]string{
+		SchemeBaseline.Name:      "baseline",
+		SchemeXOM.Name:           "XOM",
+		SchemeOTPLRU.Name:        "SNC-LRU",
+		SchemeOTPNoRepl.Name:     "SNC-NoRepl",
+		SchemeOTPMAC.Name:        "OTP+MAC",
+		SchemeOTPPrecompute.Name: "OTP-Pre",
 	}
-	for k, want := range names {
-		if k.String() != want {
-			t.Errorf("%d.String() = %q", k, k.String())
+	for ref, want := range names {
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeRef{Name: ref}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%s): %v", ref, err)
+		}
+		if got := sys.Scheme().Name(); got != want {
+			t.Errorf("%s display name = %q, want %q", ref, got, want)
 		}
 	}
 }
 
-func runBench(t *testing.T, name string, scheme SchemeKind) Result {
+func TestSchemeByNameResolvesAliasesAndParams(t *testing.T) {
+	for in, want := range map[string]string{
+		"baseline": "baseline", "base": "baseline",
+		"xom": "xom", "XOM": "xom",
+		"snc-lru": "snc-lru", "lru": "snc-lru", "otp": "snc-lru",
+		"snc-norepl": "snc-norepl", "norepl": "snc-norepl",
+		"otp-mac": "otp-mac", "mac": "otp-mac",
+		"otp-precompute": "otp-precompute", "precompute": "otp-precompute",
+	} {
+		ref, err := SchemeByName(in)
+		if err != nil {
+			t.Errorf("SchemeByName(%q): %v", in, err)
+			continue
+		}
+		if ref.Name != want {
+			t.Errorf("SchemeByName(%q).Name = %q, want %q", in, ref.Name, want)
+		}
+	}
+	ref, err := SchemeByName("otp-mac:verify=blocking,verify_lat=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Params["verify"] != "blocking" || ref.Params["verify_lat"] != "120" {
+		t.Errorf("params not parsed: %v", ref.Params)
+	}
+	if _, err := SchemeByName("nosuch"); err == nil {
+		t.Error("unknown scheme accepted")
+	} else if !strings.Contains(err.Error(), "snc-lru") {
+		t.Errorf("unknown-scheme error should list the registry, got: %v", err)
+	}
+	if _, err := SchemeByName("otp-mac:verify=sometimes"); err == nil {
+		t.Error("bad verify policy accepted")
+	}
+}
+
+func runBench(t *testing.T, name string, scheme SchemeRef) Result {
 	t.Helper()
 	prof, ok := workload.ByName(name)
 	if !ok {
@@ -175,7 +221,7 @@ func TestSlowdownAndNormalizedTime(t *testing.T) {
 // OTP-LRU.
 func TestCryptoLatencyInsensitivity(t *testing.T) {
 	prof, _ := workload.ByName("art")
-	run := func(scheme SchemeKind, lat uint64) Result {
+	run := func(scheme SchemeRef, lat uint64) Result {
 		cfg := DefaultConfig()
 		cfg.Scheme = scheme
 		cfg.Crypto.Latency = lat
@@ -285,8 +331,125 @@ func TestSystemSchemeAccessor(t *testing.T) {
 		t.Error("Scheme() accessor broken")
 	}
 	bad := DefaultConfig()
-	bad.Scheme = SchemeKind(42)
+	bad.Scheme = SchemeRef{Name: "nosuch"}
 	if _, err := New(bad); err == nil {
 		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestValidateSchemeErrors covers the registry-backed validation paths: a
+// zero (nil) scheme, an unknown name, and bad parameters must all fail
+// with errors that point at the registry, not a silent "unknown" string.
+func TestValidateSchemeErrors(t *testing.T) {
+	zero := DefaultConfig()
+	zero.Scheme = SchemeRef{}
+	err := zero.Validate()
+	if err == nil {
+		t.Fatal("nil scheme descriptor accepted")
+	}
+	if !strings.Contains(err.Error(), "no scheme selected") || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("nil-scheme error should say so and list the registry, got: %v", err)
+	}
+
+	unknown := DefaultConfig()
+	unknown.Scheme = SchemeRef{Name: "rot13"}
+	err = unknown.Validate()
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "rot13") || !strings.Contains(err.Error(), "otp-mac") {
+		t.Errorf("unknown-scheme error should name the scheme and list the registry, got: %v", err)
+	}
+
+	badParam := DefaultConfig()
+	badParam.Scheme = SchemeRef{Name: "otp-mac", Params: SchemeParams{"verify": "perhaps"}}
+	if badParam.Validate() == nil {
+		t.Error("bad otp-mac verify policy accepted")
+	}
+	badParam.Scheme = SchemeRef{Name: "otp-mac", Params: SchemeParams{"verify_lat": "-3"}}
+	if badParam.Validate() == nil {
+		t.Error("negative verify_lat accepted")
+	}
+	badParam.Scheme = SchemeRef{Name: "otp-mac", Params: SchemeParams{"frobnicate": "1"}}
+	if badParam.Validate() == nil {
+		t.Error("unknown otp-mac parameter accepted")
+	}
+	noParams := DefaultConfig()
+	noParams.Scheme = SchemeRef{Name: "baseline", Params: SchemeParams{"x": "1"}}
+	if noParams.Validate() == nil {
+		t.Error("parameters accepted by a parameterless scheme")
+	}
+
+	// The SNC checks apply exactly to the schemes that need one.
+	mism := DefaultConfig()
+	mism.SNC.LineBytes = 64
+	for _, ref := range []SchemeRef{SchemeOTPLRU, SchemeOTPNoRepl, SchemeOTPMAC, SchemeOTPPrecompute} {
+		mism.Scheme = ref
+		if mism.Validate() == nil {
+			t.Errorf("%s: SNC/L2 line mismatch accepted", ref.Name)
+		}
+	}
+	for _, ref := range []SchemeRef{SchemeBaseline, SchemeXOM} {
+		mism.Scheme = ref
+		if err := mism.Validate(); err != nil {
+			t.Errorf("%s: SNC config should not matter: %v", ref.Name, err)
+		}
+	}
+}
+
+// TestNewSchemesRun smoke-tests the two registry-era schemes end to end
+// and pins the expected orderings: MAC blocking costs more than overlap,
+// which costs more than bare OTP; precompute never costs more than OTP.
+func TestNewSchemesRun(t *testing.T) {
+	lru := runBench(t, "vpr", SchemeOTPLRU)
+	overlap := runBench(t, "vpr", SchemeOTPMAC)
+	blocking := runBench(t, "vpr", SchemeRef{Name: "otp-mac", Params: SchemeParams{"verify": "blocking"}})
+	pre := runBench(t, "vpr", SchemeOTPPrecompute)
+
+	if overlap.IntegrityVerified == 0 || blocking.IntegrityVerified == 0 {
+		t.Error("MAC schemes verified nothing")
+	}
+	// vpr fits the SNC, so its MACs stay on chip; mcf overflows it and
+	// must pay MAC-table traffic on the same misses that fetch sequence
+	// numbers.
+	mcf := runBench(t, "mcf", SchemeOTPMAC)
+	if mcf.MACTraffic() == 0 {
+		t.Error("SNC-overflowing MAC scheme generated no MAC-table traffic")
+	}
+	if mcf.MACFetches == 0 {
+		t.Error("expected MAC fetches alongside sequence-number fetches")
+	}
+	if !(lru.Cycles <= overlap.Cycles && overlap.Cycles < blocking.Cycles) {
+		t.Errorf("integrity cost ordering violated: lru=%d overlap=%d blocking=%d",
+			lru.Cycles, overlap.Cycles, blocking.Cycles)
+	}
+	if pre.Cycles > lru.Cycles {
+		t.Errorf("precompute (%d cycles) should never cost more than OTP-LRU (%d)", pre.Cycles, lru.Cycles)
+	}
+	if pre.MACTraffic() != 0 || lru.IntegrityVerified != 0 {
+		t.Error("integrity counters leaked into non-MAC schemes")
+	}
+}
+
+// TestPrecomputeHidesLargeCryptoLatency pins the sensitivity story: with a
+// crypto unit slower than the memory round trip, OTP-LRU degrades but
+// OTP-Pre's hit path stays flat.
+func TestPrecomputeHidesLargeCryptoLatency(t *testing.T) {
+	prof, _ := workload.ByName("art")
+	run := func(scheme SchemeRef, lat uint64) Result {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Crypto.Latency = lat
+		r, err := RunProfile(cfg, prof, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(SchemeBaseline, 300)
+	lru := Slowdown(run(SchemeOTPLRU, 300), base)
+	pre := Slowdown(run(SchemeOTPPrecompute, 300), base)
+	if pre >= lru {
+		t.Errorf("300-cycle crypto: precompute (%.2f%%) should beat OTP-LRU (%.2f%%)", pre, lru)
 	}
 }

@@ -299,6 +299,18 @@ func (s *SNC) TryInstall(lineVA uint64, seq uint16) bool {
 	return false
 }
 
+// Peek returns the stored sequence number without touching LRU state or
+// statistics (used by speculative pad-precompute schemes to read the value
+// their prediction must track).
+func (s *SNC) Peek(lineVA uint64) (seq uint16, ok bool) {
+	st, tag := s.locate(lineVA)
+	slot, ok := st.index[tag]
+	if !ok {
+		return 0, false
+	}
+	return s.entries[slot].seq, true
+}
+
 // Contains reports presence without touching LRU state or stats.
 func (s *SNC) Contains(lineVA uint64) bool {
 	st, tag := s.locate(lineVA)

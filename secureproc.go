@@ -4,12 +4,23 @@
 // Sequence Number Cache, evaluated against the XOM direct-encryption
 // baseline on a trace-driven out-of-order processor simulator.
 //
+// Protection schemes live in an open registry: the four the paper
+// evaluates (baseline, xom, snc-norepl, snc-lru) plus two extensions the
+// registry seam enables — otp-mac, which puts MAC integrity verification
+// on the timing path (the cost the paper scopes out, citing Gassend et
+// al.), and otp-precompute, which bounds what sequence-number prediction
+// and pad retention can recover. Any registered scheme is addressable by
+// name (Schemes, SchemeByName) with optional parameters, e.g.
+// "otp-mac:verify=blocking".
+//
 // The package is a facade over the internal packages:
 //
 //   - Simulation: Run one benchmark under one protection scheme and get
-//     cycles, traffic and SNC statistics (RunBenchmark, Compare).
-//   - Experiments: regenerate any of the paper's figures with
-//     paper-vs-measured tables (Figure, AllFigures).
+//     cycles, traffic, SNC and integrity statistics (RunBenchmark,
+//     Compare).
+//   - Experiments: regenerate any of the paper's figures — plus the
+//     integrity-overhead Figure I1 — with paper-vs-measured tables
+//     (Figure, AllFigures).
 //   - Functional encryption: byte-accurate protected memory with real
 //     DES/AES pads for end-to-end demos (NewProtectedMemory).
 //
@@ -32,11 +43,14 @@ import (
 	"secureproc/internal/workload"
 )
 
-// Scheme selects a memory-protection scheme.
-type Scheme = sim.SchemeKind
+// Scheme selects a memory-protection scheme: a registry reference (name +
+// optional parameters). Use the package variables below, or resolve any
+// registered name with SchemeByName.
+type Scheme = sim.SchemeRef
 
-// The four schemes the paper evaluates.
-const (
+// References to the registered schemes: the four the paper evaluates plus
+// the two registry-era extensions.
+var (
 	// Baseline is the insecure processor (no memory encryption).
 	Baseline = sim.SchemeBaseline
 	// XOM is direct encryption on the memory critical path.
@@ -46,7 +60,21 @@ const (
 	OTPLRU = sim.SchemeOTPLRU
 	// OTPNoRepl is one-time-pad encryption with a no-replacement SNC.
 	OTPNoRepl = sim.SchemeOTPNoRepl
+	// OTPMAC is OTPLRU plus per-line MAC integrity verification
+	// (parameters: verify=overlap|blocking, verify_lat=N cycles).
+	OTPMAC = sim.SchemeOTPMAC
+	// OTPPrecompute is OTPLRU plus pad retention and sequence-number
+	// prediction: SNC hits hide crypto latency entirely.
+	OTPPrecompute = sim.SchemeOTPPrecompute
 )
+
+// Schemes lists the registered scheme names in registration order.
+func Schemes() []string { return sim.SchemeNames() }
+
+// SchemeByName resolves a scheme reference string like "snc-lru" or
+// "otp-mac:verify=blocking" against the registry (aliases accepted); the
+// error for an unknown name lists every registered scheme.
+func SchemeByName(name string) (Scheme, error) { return sim.SchemeByName(name) }
 
 // Result is the outcome of one simulation run.
 type Result = sim.Result
@@ -92,15 +120,18 @@ func RunBenchmarkConfig(name string, cfg Config, scale float64) (Result, error) 
 // Slowdown returns the percent slowdown of r relative to base.
 func Slowdown(r, base Result) float64 { return sim.Slowdown(r, base) }
 
-// Comparison is the outcome of running one benchmark under every scheme.
+// Comparison is the outcome of running one benchmark under every
+// registered scheme.
 type Comparison struct {
 	Benchmark string
 	Baseline  Result
-	ByScheme  map[string]Result
+	// ByScheme maps each non-baseline scheme's display name ("XOM",
+	// "SNC-LRU", "OTP+MAC", ...) to its result.
+	ByScheme map[string]Result
 }
 
-// SlowdownOf returns the percent slowdown for a scheme name ("XOM",
-// "SNC-LRU", "SNC-NoRepl").
+// SlowdownOf returns the percent slowdown for a scheme display name
+// ("XOM", "SNC-LRU", "SNC-NoRepl", "OTP+MAC", "OTP-Pre").
 func (c Comparison) SlowdownOf(scheme string) float64 {
 	r, ok := c.ByScheme[scheme]
 	if !ok {
@@ -109,16 +140,19 @@ func (c Comparison) SlowdownOf(scheme string) float64 {
 	return sim.Slowdown(r, c.Baseline)
 }
 
-// Compare runs one benchmark under the baseline, XOM and both OTP variants
-// — the paper's Figure 5 for a single workload.
+// Compare runs one benchmark under every registered scheme — the paper's
+// Figure 5 for a single workload, extended to whatever the registry holds.
 func Compare(name string, scale float64) (Comparison, error) {
 	base, err := RunBenchmark(name, Baseline, scale)
 	if err != nil {
 		return Comparison{}, err
 	}
 	c := Comparison{Benchmark: name, Baseline: base, ByScheme: make(map[string]Result)}
-	for _, s := range []Scheme{XOM, OTPNoRepl, OTPLRU} {
-		r, err := RunBenchmark(name, s, scale)
+	for _, sn := range Schemes() {
+		if sn == Baseline.Name {
+			continue
+		}
+		r, err := RunBenchmark(name, Scheme{Name: sn}, scale)
 		if err != nil {
 			return Comparison{}, err
 		}
@@ -133,8 +167,8 @@ type FigureResult = experiments.FigureResult
 // Figures lists the regenerable paper figures.
 func Figures() []string { return experiments.Names() }
 
-// Figure regenerates one paper figure ("fig3" … "fig10") at the given
-// workload scale.
+// Figure regenerates one figure ("fig3" … "fig10", or "figI1" for the
+// integrity-overhead extension) at the given workload scale.
 func Figure(name string, scale float64) (FigureResult, error) {
 	return experiments.NewRunner(scale).ByName(name)
 }

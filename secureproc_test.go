@@ -52,16 +52,71 @@ func TestRunBenchmarkConfig(t *testing.T) {
 	}
 }
 
+func TestSchemesRegistry(t *testing.T) {
+	names := secureproc.Schemes()
+	if len(names) != 6 {
+		t.Fatalf("got %d schemes: %v", len(names), names)
+	}
+	if names[0] != "baseline" {
+		t.Errorf("baseline must register first, got %v", names)
+	}
+	for _, n := range names {
+		if _, err := secureproc.SchemeByName(n); err != nil {
+			t.Errorf("SchemeByName(%q): %v", n, err)
+		}
+	}
+	if _, err := secureproc.SchemeByName("vigenere"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestRunBenchmarkEveryScheme drives the facade across the full registry,
+// including both new schemes, at small scale.
+func TestRunBenchmarkEveryScheme(t *testing.T) {
+	base, err := secureproc.RunBenchmark("gcc", secureproc.Baseline, apiScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range secureproc.Schemes() {
+		ref, err := secureproc.SchemeByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := secureproc.RunBenchmark("gcc", ref, apiScale)
+		if err != nil {
+			t.Fatalf("RunBenchmark(gcc, %s): %v", n, err)
+		}
+		if r.Cycles == 0 || r.Instructions != base.Instructions {
+			t.Errorf("%s: malformed result (cycles=%d instrs=%d)", n, r.Cycles, r.Instructions)
+		}
+		if r.Cycles < base.Cycles {
+			t.Errorf("%s: faster than the insecure baseline (%d < %d)", n, r.Cycles, base.Cycles)
+		}
+	}
+	if _, err := secureproc.RunBenchmark("gcc", secureproc.Scheme{Name: "nosuch"}, apiScale); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
 func TestCompare(t *testing.T) {
 	c, err := secureproc.Compare("vpr", apiScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Benchmark != "vpr" || len(c.ByScheme) != 3 {
+	// Every registered scheme except the baseline, keyed by display name.
+	if c.Benchmark != "vpr" || len(c.ByScheme) != len(secureproc.Schemes())-1 {
 		t.Fatalf("comparison malformed: %+v", c)
+	}
+	for _, display := range []string{"XOM", "SNC-NoRepl", "SNC-LRU", "OTP+MAC", "OTP-Pre"} {
+		if _, ok := c.ByScheme[display]; !ok {
+			t.Errorf("comparison missing %q (have %v)", display, c.ByScheme)
+		}
 	}
 	if c.SlowdownOf("XOM") <= c.SlowdownOf("SNC-LRU") {
 		t.Error("XOM should be slower than SNC-LRU for vpr")
+	}
+	if c.SlowdownOf("OTP-Pre") > c.SlowdownOf("SNC-LRU") {
+		t.Error("pad precompute should never cost more than plain OTP")
 	}
 	if c.SlowdownOf("bogus") != 0 {
 		t.Error("unknown scheme should yield 0")
@@ -72,8 +127,8 @@ func TestCompare(t *testing.T) {
 }
 
 func TestFigureAPI(t *testing.T) {
-	if len(secureproc.Figures()) != 7 {
-		t.Error("seven figures expected")
+	if len(secureproc.Figures()) != 8 {
+		t.Error("eight figures expected (seven paper figures + figI1)")
 	}
 	fr, err := secureproc.Figure("fig3", 0.05)
 	if err != nil {
