@@ -256,7 +256,7 @@ func BenchmarkContextSwitchFlush(b *testing.B) {
 				for e := 0; e < cfg.Entries(); e++ {
 					o.SNC().Install(uint64(e)*128, 1)
 				}
-				flushCycles = o.ContextSwitch(0)
+				flushCycles = o.ContextSwitch(0, 1)
 			}
 			b.ReportMetric(float64(flushCycles), "flush-cycles")
 		})

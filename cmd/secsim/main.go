@@ -6,6 +6,7 @@
 //	secsim [-bench mcf] [-scheme snc-lru] [-scale 1.0] [-snc 64] [-ways 0]
 //	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare] [-jobs N] [-seq]
 //	       [-list]
+//	secsim -multi mcf,gzip [-quantum 100000] [-switch flush|pid] [...]
 //
 // -scheme accepts any registered scheme reference — a name or alias from
 // the scheme registry, optionally with parameters, e.g. "snc-lru" or
@@ -15,6 +16,13 @@
 // and print in deterministic order. With -compare, every registered scheme
 // runs per benchmark and a slowdown summary is printed (one benchmark's
 // slice of the paper's Figure 5, extended to the full registry).
+//
+// With -multi, the named benchmarks are time-sliced through ONE machine
+// (Section 4.3 multiprogramming): -quantum sets the slice length in
+// instructions and -switch selects the scheme's context-switch policy —
+// flush (option 1: flush-encrypt the SNC each switch) or pid (option 2:
+// PID-tagged entries survive switches). Per-task slowdowns are reported
+// against solo runs on the same configuration.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"secureproc/internal/core"
 	"secureproc/internal/experiments"
+	"secureproc/internal/sched"
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
 	"secureproc/internal/workload"
@@ -76,6 +85,65 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// runMulti is the -multi entry point: time-slice the benchmarks through one
+// machine under the scheme with the requested context-switch policy.
+func runMulti(multi, scheme, switchPolicy string, switchSet bool, quantum uint64, scale float64,
+	sncKB, ways int, crypto uint64, l2, l2ways int) {
+	benches, err := benchList(multi)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) < 2 {
+		fatal(fmt.Errorf("-multi needs at least 2 benchmarks (got %d)", len(benches)))
+	}
+	// The switch policy rides as a registry parameter on the scheme; pass
+	// it through ParseRef so "-scheme otp-mac:verify=blocking" composes.
+	// An explicit switch= in the scheme reference wins over the flag's
+	// default (conflicting explicit values are an error), and schemes
+	// without per-process state (baseline, xom) run without a policy
+	// unless the user explicitly demanded one.
+	if _, err := core.ParseSwitchPolicy(switchPolicy); err != nil {
+		fatal(err)
+	}
+	ref, err := sim.SchemeByName(scheme)
+	if err != nil {
+		fatal(err)
+	}
+	if prev, ok := ref.Params["switch"]; ok {
+		if switchSet && prev != switchPolicy {
+			fatal(fmt.Errorf("scheme %q says switch=%s but -switch says %s", scheme, prev, switchPolicy))
+		}
+	} else {
+		withSwitch := ref
+		withSwitch.Params = sim.SchemeParams{"switch": switchPolicy}
+		for k, v := range ref.Params {
+			withSwitch.Params[k] = v
+		}
+		if _, err := core.LookupRef(withSwitch); err == nil {
+			ref = withSwitch
+		} else if switchSet {
+			fatal(fmt.Errorf("scheme %q does not support -switch: %w", scheme, err))
+		}
+	}
+	if _, err := core.LookupRef(ref); err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = ref
+	cfg.SNC.SizeBytes = sncKB << 10
+	cfg.SNC.Ways = ways
+	cfg.Crypto.Latency = crypto
+	cfg.L2.SizeBytes = l2 << 10
+	cfg.L2.Ways = l2ways
+	start := time.Now()
+	res, err := sched.RunBenchmarks(sched.Config{Sim: cfg, Quantum: quantum, Scale: scale}, benches)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Fprintf(os.Stderr, "(%d tasks, %.1fs)\n", len(benches), time.Since(start).Seconds())
+}
+
 func main() {
 	bench := flag.String("bench", "mcf", `benchmark name, comma-separated list, or "all" (see -list)`)
 	scheme := flag.String("scheme", "snc-lru", "protection scheme reference (see -list)")
@@ -86,11 +154,21 @@ func main() {
 	l2 := flag.Int("l2", 256, "L2 size in KB")
 	l2ways := flag.Int("l2ways", 4, "L2 associativity")
 	compare := flag.Bool("compare", false, "run every registered scheme and print slowdowns")
+	multi := flag.String("multi", "", "time-slice these benchmarks (comma-separated, ≥2) through one machine")
+	quantum := flag.Uint64("quantum", sched.DefaultQuantum, "multiprogramming time slice in instructions")
+	switchPolicy := flag.String("switch", "flush", "context-switch policy for -multi: flush or pid (§4.3)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
 	list := flag.Bool("list", false, "list registered schemes and benchmarks, then exit")
 	listBench := flag.Bool("listbench", false, "list benchmarks and exit")
 	flag.Parse()
+
+	switchSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "switch" {
+			switchSet = true
+		}
+	})
 
 	if *list {
 		printRegistry()
@@ -100,6 +178,10 @@ func main() {
 		for _, n := range workload.BenchmarkNames {
 			fmt.Println(n)
 		}
+		return
+	}
+	if *multi != "" {
+		runMulti(*multi, *scheme, *switchPolicy, switchSet, *quantum, *scale, *sncKB, *ways, *crypto, *l2, *l2ways)
 		return
 	}
 	benches, err := benchList(*bench)

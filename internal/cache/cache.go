@@ -182,12 +182,13 @@ func (c *Cache) Probe(addr uint64) bool {
 
 // InvalidateAll clears the cache (used at program/compartment switches),
 // returning the dirty lines as (physical line address, VA) pairs so callers
-// can write them back.
+// can write them back. The flushed dirty lines count as writebacks.
 func (c *Cache) InvalidateAll() (dirty [][2]uint64) {
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			l := &c.sets[si][wi]
 			if l.valid && l.dirty {
+				c.Writebacks++
 				dirty = append(dirty, [2]uint64{l.tag << c.setShift, l.va})
 			}
 			l.valid = false

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"secureproc/internal/integrity"
 	"secureproc/internal/snc"
@@ -12,19 +13,91 @@ import (
 // packages can Register more; these are the ones every CLI and figure spec
 // can count on.
 
-// newOTPWith builds the OTP substrate with the given SNC policy forced.
-func newOTPWith(res Resources, policy snc.Policy) *OTP {
-	sncCfg := res.SNC
-	sncCfg.Policy = policy
-	return NewOTP(res.Bus, res.WBuf, res.Crypto, snc.New(sncCfg))
+// DefaultPIDBits is the per-entry process-ID tag width used by switch=pid
+// when no pidbits parameter is given: 8 bits distinguishes 256 concurrent
+// address spaces, the right order for a time-sliced machine.
+const DefaultPIDBits = 8
+
+// checkKeys rejects parameters outside the scheme's accepted set.
+func checkKeys(scheme string, p Params, allowed ...string) error {
+	for k := range p {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("core: %s: unknown parameter %q (%s)",
+				scheme, k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
 }
 
-// otpMACParams validates the otp-mac parameter set.
-func otpMACParams(p Params) (integrity.VerifyPolicy, uint64, error) {
-	for k := range p {
-		if k != "verify" && k != "verify_lat" {
-			return 0, 0, fmt.Errorf("core: otp-mac: unknown parameter %q (verify, verify_lat)", k)
+// otpSwitchParams reads the multiprogramming parameters shared by every
+// OTP-based scheme: switch selects the Section 4.3 context-switch policy,
+// pidbits the per-entry tag width for switch=pid.
+func otpSwitchParams(p Params) (SwitchPolicy, int, error) {
+	policy, err := ParseSwitchPolicy(p.Str("switch", SwitchFlush.String()))
+	if err != nil {
+		return 0, 0, err
+	}
+	bits, err := p.Int("pidbits", DefaultPIDBits)
+	if err != nil {
+		return 0, 0, err
+	}
+	if bits <= 0 || bits > 16 {
+		return 0, 0, fmt.Errorf("core: pidbits must be in [1,16] (got %d)", bits)
+	}
+	if _, given := p["pidbits"]; given && policy != SwitchPID {
+		return 0, 0, fmt.Errorf("core: pidbits is only meaningful with switch=pid")
+	}
+	return policy, bits, nil
+}
+
+// newOTPWith builds the OTP substrate with the given SNC policy forced and
+// the multiprogramming parameters applied: switch=pid grows each SNC entry
+// by the tag width (shrinking capacity) before construction.
+func newOTPWith(res Resources, policy snc.Policy, p Params) (*OTP, error) {
+	swPolicy, pidBits, err := otpSwitchParams(p)
+	if err != nil {
+		return nil, err
+	}
+	sncCfg := res.SNC
+	sncCfg.Policy = policy
+	if swPolicy == SwitchPID {
+		sncCfg.PIDBits = pidBits
+	}
+	if err := sncCfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := NewOTP(res.Bus, res.WBuf, res.Crypto, snc.New(sncCfg))
+	o.switchPolicy = swPolicy
+	if swPolicy == SwitchPID {
+		o.pidBits = pidBits
+	}
+	return o, nil
+}
+
+// checkOTPParams is the CheckParams body shared by snc-lru, snc-norepl and
+// otp-precompute (otp-mac adds its verify keys on top).
+func checkOTPParams(scheme string) func(Params) error {
+	return func(p Params) error {
+		if err := checkKeys(scheme, p, "switch", "pidbits"); err != nil {
+			return err
 		}
+		_, _, err := otpSwitchParams(p)
+		return err
+	}
+}
+
+// otpMACParams validates the otp-mac parameter set (on top of the shared
+// switch parameters).
+func otpMACParams(p Params) (integrity.VerifyPolicy, uint64, error) {
+	if err := checkKeys("otp-mac", p, "verify", "verify_lat", "switch", "pidbits"); err != nil {
+		return 0, 0, err
 	}
 	policy, err := integrity.ParseVerifyPolicy(p.Str("verify", integrity.VerifyOverlap.String()))
 	if err != nil {
@@ -36,6 +109,9 @@ func otpMACParams(p Params) (integrity.VerifyPolicy, uint64, error) {
 	}
 	if lat <= 0 {
 		return 0, 0, fmt.Errorf("core: otp-mac: verify_lat must be positive (got %d)", lat)
+	}
+	if _, _, err := otpSwitchParams(p); err != nil {
+		return 0, 0, err
 	}
 	return policy, uint64(lat), nil
 }
@@ -60,21 +136,25 @@ func init() {
 		},
 	})
 	MustRegister(Descriptor{
-		Name:     "snc-norepl",
-		Doc:      "one-time-pad encryption, no-replacement SNC; uncovered lines fall back to XOM",
-		Aliases:  []string{"norepl", "otp-norepl"},
-		NeedsSNC: true,
-		New: func(res Resources, _ Params) (Scheme, error) {
-			return newOTPWith(res, snc.NoReplacement), nil
+		Name: "snc-norepl",
+		Doc: "one-time-pad encryption, no-replacement SNC; uncovered lines fall back to XOM " +
+			"(switch=flush|pid, pidbits=N for multiprogramming)",
+		Aliases:     []string{"norepl", "otp-norepl"},
+		NeedsSNC:    true,
+		CheckParams: checkOTPParams("snc-norepl"),
+		New: func(res Resources, p Params) (Scheme, error) {
+			return newOTPWith(res, snc.NoReplacement, p)
 		},
 	})
 	MustRegister(Descriptor{
-		Name:     "snc-lru",
-		Doc:      "one-time-pad encryption, LRU SNC (the paper's best scheme)",
-		Aliases:  []string{"lru", "otp"},
-		NeedsSNC: true,
-		New: func(res Resources, _ Params) (Scheme, error) {
-			return newOTPWith(res, snc.LRU), nil
+		Name: "snc-lru",
+		Doc: "one-time-pad encryption, LRU SNC (the paper's best scheme; " +
+			"switch=flush|pid, pidbits=N for multiprogramming)",
+		Aliases:     []string{"lru", "otp"},
+		NeedsSNC:    true,
+		CheckParams: checkOTPParams("snc-lru"),
+		New: func(res Resources, p Params) (Scheme, error) {
+			return newOTPWith(res, snc.LRU, p)
 		},
 	})
 	MustRegister(Descriptor{
@@ -92,17 +172,26 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return NewOTPMAC(newOTPWith(res, snc.LRU), policy, lat), nil
+			otp, err := newOTPWith(res, snc.LRU, p)
+			if err != nil {
+				return nil, err
+			}
+			return NewOTPMAC(otp, policy, lat), nil
 		},
 	})
 	MustRegister(Descriptor{
 		Name: "otp-precompute",
 		Doc: "snc-lru plus pad retention and sequence-number prediction: " +
 			"SNC hits hide crypto latency entirely (sensitivity upper bound)",
-		Aliases:  []string{"precompute", "otp-pre"},
-		NeedsSNC: true,
-		New: func(res Resources, _ Params) (Scheme, error) {
-			return NewOTPPre(newOTPWith(res, snc.LRU)), nil
+		Aliases:     []string{"precompute", "otp-pre"},
+		NeedsSNC:    true,
+		CheckParams: checkOTPParams("otp-precompute"),
+		New: func(res Resources, p Params) (Scheme, error) {
+			otp, err := newOTPWith(res, snc.LRU, p)
+			if err != nil {
+				return nil, err
+			}
+			return NewOTPPre(otp), nil
 		},
 	})
 }

@@ -229,7 +229,7 @@ func TestOTPContextSwitchFlush(t *testing.T) {
 	for i := uint64(0); i < 32; i++ {
 		o.SNC().Install(i*128, uint16(i+1))
 	}
-	done := o.ContextSwitch(1000)
+	done := o.ContextSwitch(1000, 1)
 	if done <= 1000 {
 		t.Error("flush of a populated SNC should take time")
 	}
@@ -241,6 +241,7 @@ func TestOTPContextSwitchFlush(t *testing.T) {
 	}
 	// The original task resumes: its sequence numbers come back from the
 	// in-memory table with their exact values.
+	o.ContextSwitch(done, 0)
 	o.ReadLine(done, dataAccess(5*128))
 	seq, hit := o.SNC().Query(5 * 128)
 	if !hit || seq != 6 {
@@ -248,8 +249,109 @@ func TestOTPContextSwitchFlush(t *testing.T) {
 	}
 	// Empty flush is free.
 	o2, _ := newOTP(snc.LRU)
-	if got := o2.ContextSwitch(50); got != 50 {
+	if got := o2.ContextSwitch(50, 1); got != 50 {
 		t.Errorf("empty flush took time: %d", got)
+	}
+}
+
+func TestOTPContextSwitchPID(t *testing.T) {
+	o, bus := newOTP(snc.LRU)
+	o.switchPolicy = SwitchPID
+	for i := uint64(0); i < 8; i++ {
+		o.SNC().Install(i*128, uint16(i+1))
+	}
+	// A PID switch moves no state off chip and costs no bus traffic.
+	if done := o.ContextSwitch(1000, 1); done != 1000 {
+		t.Errorf("pid switch took time: %d", done)
+	}
+	if o.SNC().Occupied() != 8 {
+		t.Error("pid switch must keep SNC contents")
+	}
+	if bus.Transactions[mem.SrcSeqNumSpill] != 0 {
+		t.Error("pid switch must not spill")
+	}
+	// Process 1 writes its own line 0: a fresh entry, not process 0's.
+	o.WritebackLine(1000, dataAccess(0))
+	o.ContextSwitch(2000, 0)
+	// Process 0's entry for line 0 is untouched.
+	if seq, hit := o.SNC().Query(o.tagged(0)); !hit || seq != 1 {
+		t.Errorf("process 0 seq = %d (hit=%v), want 1 true", seq, hit)
+	}
+}
+
+func TestOTPNoReplContinuesSeqAcrossFlush(t *testing.T) {
+	// A flushed NoRepl SNC must not restart a line's pad space at 1 when
+	// the line re-enters coverage — that would reuse one-time pads.
+	o, bus := newOTP(snc.NoReplacement)
+	for i := 0; i < 5; i++ {
+		o.WritebackLine(0, dataAccess(0x2000)) // installs seq 1, then 2..5
+	}
+	o.ContextSwitch(10_000, 1)
+	if o.SNC().Contains(0x2000) {
+		t.Fatal("flush left the entry resident")
+	}
+	o.ContextSwitch(20_000, 0)
+	// Resumed read: the line is still pad-encrypted, so it must take the
+	// seq-fetch path, not the XOM fallback.
+	fetches := bus.Transactions[mem.SrcSeqNumFetch]
+	o.ReadLine(30_000, dataAccess(0x2000))
+	if bus.Transactions[mem.SrcSeqNumFetch] != fetches+1 {
+		t.Error("resumed read of a flushed covered line must fetch its sequence number")
+	}
+	if seq, ok := o.SNC().Peek(0x2000); !ok || seq != 5 {
+		t.Errorf("restored seq = %d (ok=%v), want 5", seq, ok)
+	}
+	// The next writeback continues the sequence: 6, never 1 again.
+	o.WritebackLine(40_000, dataAccess(0x2000))
+	if seq, _ := o.SNC().Peek(0x2000); seq != 6 {
+		t.Errorf("post-flush writeback seq = %d, want 6 (continuation)", seq)
+	}
+}
+
+func TestOTPPIDSwitchOverflowFlushes(t *testing.T) {
+	// PIDs beyond the tag width cannot be told apart by the hardware, so
+	// entering or leaving such a process must flush.
+	o, bus := newOTP(snc.LRU)
+	o.switchPolicy = SwitchPID
+	o.pidBits = 1 // tags distinguish pids 0 and 1 only
+	o.SNC().Install(0, 1)
+	if o.ContextSwitch(100, 1); bus.Transactions[mem.SrcSeqNumSpill] != 0 {
+		t.Fatal("in-range pid switch must not flush")
+	}
+	if o.SNC().Occupied() != 1 {
+		t.Fatal("in-range switch dropped entries")
+	}
+	o.ContextSwitch(200, 2) // 2 needs 2 bits: entering flushes
+	if bus.Transactions[mem.SrcSeqNumSpill] == 0 || o.SNC().Occupied() != 0 {
+		t.Error("out-of-range pid must flush on entry")
+	}
+	o.WritebackLine(300, dataAccess(0x4000)) // pid 2 covers a line
+	spills := bus.Transactions[mem.SrcSeqNumSpill]
+	o.ContextSwitch(400, 0) // leaving the out-of-range pid flushes too
+	if bus.Transactions[mem.SrcSeqNumSpill] == spills || o.SNC().Occupied() != 0 {
+		t.Error("out-of-range pid must flush on exit")
+	}
+}
+
+func TestOTPSeqOverflowRekeys(t *testing.T) {
+	o, bus := newOTP(snc.LRU)
+	o.SNC().Install(0, 0xFFFF)
+	fills := bus.Transactions[mem.SrcWriteback]
+	// The wrapping writeback pays direct re-encryption, not the pad XOR.
+	o.WritebackLine(0, dataAccess(0))
+	if got := o.Stats().Get("otp.reencrypts"); got != 1 {
+		t.Errorf("reencrypts = %d, want 1", got)
+	}
+	if got := o.Stats().Get("otp.seq_overflows"); got != 1 {
+		t.Errorf("seq_overflows = %d, want 1", got)
+	}
+	if bus.Transactions[mem.SrcWriteback] != fills+1 {
+		t.Error("re-encrypted line must still be written back")
+	}
+	// The next writeback of the re-keyed line is a normal pad write.
+	o.WritebackLine(0, dataAccess(0))
+	if got := o.Stats().Get("otp.reencrypts"); got != 1 {
+		t.Errorf("reencrypts after re-key = %d, want 1", got)
 	}
 }
 

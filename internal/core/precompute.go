@@ -57,7 +57,8 @@ func (p *OTPPre) Name() string { return "OTP-Pre" }
 func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 	if a.Instr {
 		p.instrReads++
-		if p.instrPad[a.PA] {
+		key := p.tagged(a.PA)
+		if p.instrPad[key] {
 			// Constant-seed pad already buffered: only the XOR remains.
 			p.padHits++
 			arrival := p.bus.Read(now, mem.SrcLineFill)
@@ -65,7 +66,7 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 		}
 		// Cold instruction line: generate and retain the pad.
 		p.padMisses++
-		p.instrPad[a.PA] = true
+		p.instrPad[key] = true
 		pad := p.crypto.Issue(now)
 		arrival := p.bus.Read(now, mem.SrcLineFill)
 		if pad > arrival {
@@ -73,11 +74,12 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 		}
 		return max64(arrival, pad) + 1
 	}
-	seq, hit := p.snc.Query(a.VA)
+	va := p.tagged(a.VA)
+	seq, hit := p.snc.Query(va)
 	if hit {
 		p.queryHits++
 		arrival := p.bus.Read(now, mem.SrcLineFill)
-		if want, ok := p.padFor[a.VA]; ok && want == seq {
+		if want, ok := p.padFor[va]; ok && want == seq {
 			// Predicted pad is buffered: the read is ready at arrival+XOR
 			// no matter the crypto latency.
 			p.padHits++
@@ -85,7 +87,7 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 		}
 		// No (or stale) prediction: generate the pad now, retain it.
 		p.padMisses++
-		p.padFor[a.VA] = seq
+		p.padFor[va] = seq
 		pad := p.crypto.Issue(now)
 		if pad > arrival {
 			p.hiddenCycles += pad - arrival
@@ -100,14 +102,14 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 	seqArrival := p.bus.Read(now, mem.SrcSeqNumFetch)
 	p.seqFetches++
 	seqPlain := p.crypto.Issue(seqArrival) // decrypt the stored seq number
-	trueSeq := p.seqMem[a.VA]
-	p.installFetched(now, a.VA)
-	if want, ok := p.padFor[a.VA]; ok && want == trueSeq {
+	trueSeq := p.seqMem[va]
+	p.installFetched(now, va)
+	if want, ok := p.padFor[va]; ok && want == trueSeq {
 		p.padHits++
 		return max64(arrival, seqPlain) + 1
 	}
 	p.padMisses++
-	p.padFor[a.VA] = trueSeq
+	p.padFor[va] = trueSeq
 	pad := p.crypto.Issue(seqPlain) // generate (and retain) the pad
 	if pad > max64(arrival, seqPlain) {
 		p.hiddenCycles += pad - max64(arrival, seqPlain)
@@ -121,12 +123,13 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 func (p *OTPPre) WritebackLine(now uint64, a Access) uint64 {
 	cpuFree := p.OTP.WritebackLine(now, a)
 	if !a.Instr {
-		if seq, ok := p.snc.Peek(a.VA); ok {
-			p.padFor[a.VA] = seq
+		va := p.tagged(a.VA)
+		if seq, ok := p.snc.Peek(va); ok {
+			p.padFor[va] = seq
 		} else {
 			// Uncovered writeback (entry not resident): any buffered pad
 			// is stale now.
-			delete(p.padFor, a.VA)
+			delete(p.padFor, va)
 		}
 	}
 	return cpuFree

@@ -129,6 +129,47 @@ func TestLookupRefValidatesParams(t *testing.T) {
 	}
 }
 
+func TestSwitchParamsValidate(t *testing.T) {
+	good := []Ref{
+		{Name: "snc-lru", Params: Params{"switch": "flush"}},
+		{Name: "snc-lru", Params: Params{"switch": "pid"}},
+		{Name: "snc-lru", Params: Params{"switch": "pid", "pidbits": "4"}},
+		{Name: "snc-norepl", Params: Params{"switch": "pid"}},
+		{Name: "otp-mac", Params: Params{"verify": "blocking", "switch": "pid"}},
+		{Name: "otp-precompute", Params: Params{"switch": "flush"}},
+	}
+	for _, r := range good {
+		if _, err := LookupRef(r); err != nil {
+			t.Errorf("%s rejected: %v", r, err)
+		}
+	}
+	bad := []Ref{
+		{Name: "snc-lru", Params: Params{"switch": "drop"}},
+		{Name: "snc-lru", Params: Params{"switch": "pid", "pidbits": "0"}},
+		{Name: "snc-lru", Params: Params{"switch": "pid", "pidbits": "17"}},
+		{Name: "snc-lru", Params: Params{"pidbits": "8"}}, // pidbits without pid
+		{Name: "xom", Params: Params{"switch": "flush"}},  // no per-process state
+	}
+	for _, r := range bad {
+		if _, err := LookupRef(r); err == nil {
+			t.Errorf("%s accepted", r)
+		}
+	}
+	// The built scheme carries the policy and the shrunken SNC.
+	s, err := Build(Ref{Name: "snc-lru", Params: Params{"switch": "pid"}}, testResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	otp := s.(*OTP)
+	if otp.SwitchPolicy() != SwitchPID {
+		t.Errorf("policy = %v, want pid", otp.SwitchPolicy())
+	}
+	untagged := testResources().SNC.Entries()
+	if got := otp.SNC().Config().Entries(); got >= untagged {
+		t.Errorf("tagged SNC holds %d entries, want fewer than %d", got, untagged)
+	}
+}
+
 func TestBuildConstructsEveryBuiltin(t *testing.T) {
 	wantName := map[string]string{
 		"baseline": "baseline", "xom": "XOM",
@@ -160,7 +201,10 @@ func TestBuildConstructsEveryBuiltin(t *testing.T) {
 func TestOTPMACTiming(t *testing.T) {
 	build := func(policy integrity.VerifyPolicy) (*OTPMAC, *mem.Bus) {
 		res := testResources()
-		otp := newOTPWith(res, snc.LRU)
+		otp, err := newOTPWith(res, snc.LRU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return NewOTPMAC(otp, policy, 80), res.Bus
 	}
 	a := Access{PA: 0x1000, VA: 0x1000}
@@ -207,7 +251,11 @@ func TestOTPPrePadRetention(t *testing.T) {
 	res := testResources()
 	// A slow crypto unit makes the hidden latency visible.
 	res.Crypto = engine.New(engine.Config{Latency: 300, InitiationInterval: 1, Ports: 1})
-	p := NewOTPPre(newOTPWith(res, snc.LRU))
+	otp, err := newOTPWith(res, snc.LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewOTPPre(otp)
 	a := Access{PA: 0x1000, VA: 0x1000}
 	p.snc.TryInstall(a.VA, 5)
 

@@ -20,6 +20,9 @@
 package core
 
 import (
+	"fmt"
+	"math"
+
 	"secureproc/internal/crypto/engine"
 	"secureproc/internal/mem"
 	"secureproc/internal/snc"
@@ -54,6 +57,57 @@ type Scheme interface {
 	Stats() *stats.Set
 	// ResetStats clears counters after warmup.
 	ResetStats()
+}
+
+// ContextSwitcher is an optional Scheme capability: schemes holding
+// per-process security state implement it so a multiprogrammed machine can
+// charge each task switch its real cost (Section 4.3). now is the cycle the
+// switch happens; next is the incoming process ID. done is the cycle any
+// switch-induced scheme work (e.g. an SNC flush burst) has fully drained —
+// the new task may start issuing earlier, but the bus sees the traffic.
+// Schemes without per-process state (baseline, XOM) simply don't implement
+// it: their seeds never depend on the running process.
+type ContextSwitcher interface {
+	ContextSwitch(now uint64, next int) (done uint64)
+}
+
+// SwitchPolicy selects how an OTP scheme protects SNC contents across a
+// task switch (the two options of Section 4.3).
+type SwitchPolicy int
+
+const (
+	// SwitchFlush is option 1: every valid entry is encrypted and flushed
+	// to memory at each switch; the resuming task refetches its sequence
+	// numbers through query misses.
+	SwitchFlush SwitchPolicy = iota
+	// SwitchPID is option 2: entries carry process-ID tags and survive
+	// switches. No flush traffic, but the tag bits shrink the SNC's
+	// effective capacity and tasks contend for the remaining entries.
+	SwitchPID
+)
+
+// String names the policy as accepted by the registry's switch= parameter.
+func (p SwitchPolicy) String() string {
+	switch p {
+	case SwitchFlush:
+		return "flush"
+	case SwitchPID:
+		return "pid"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSwitchPolicy parses a switch= parameter value.
+func ParseSwitchPolicy(s string) (SwitchPolicy, error) {
+	switch s {
+	case "flush":
+		return SwitchFlush, nil
+	case "pid":
+		return SwitchPID, nil
+	default:
+		return 0, fmt.Errorf("core: unknown switch policy %q (flush, pid)", s)
+	}
 }
 
 // Baseline is the insecure processor: no cryptography at all.
@@ -147,9 +201,18 @@ type OTP struct {
 	snc    *snc.SNC
 	policy snc.Policy
 
+	// switchPolicy selects the Section 4.3 context-switch option; pid is
+	// the currently running process (0 until the first switch, so
+	// single-program runs are untouched); pidBits is the tag width the
+	// SwitchPID hardware can distinguish.
+	switchPolicy SwitchPolicy
+	pid          int
+	pidBits      int
+
 	// seqMem is the architectural sequence-number table in (encrypted)
 	// memory used by the LRU policy for spilled entries. It is the
-	// functional mirror of what the timing model charges traffic for.
+	// functional mirror of what the timing model charges traffic for,
+	// keyed by process-tagged virtual line address.
 	seqMem map[uint64]uint16
 
 	// Counters.
@@ -162,18 +225,33 @@ type OTP struct {
 	directWrites uint64 // NoRepl fallback writes
 	spills       uint64
 	seqFetches   uint64
+	reencrypts   uint64 // seq-overflow re-keys (direct re-encryption)
+	switches     uint64
+}
+
+// pidTagShift places the process ID above every virtual line address the
+// workloads generate; SNC keys and seqMem keys both carry the tag so that
+// identical VAs from different address spaces never alias.
+const pidTagShift = 48
+
+// tagged composes the SNC/seqMem key for a virtual line address under the
+// current process. With pid 0 (single-program operation) the key is the VA
+// itself.
+func (o *OTP) tagged(va uint64) uint64 {
+	return va | uint64(o.pid)<<pidTagShift
 }
 
 // NewOTP builds the one-time-pad scheme. The SNC's configured policy
 // selects LRU vs no-replacement behaviour.
 func NewOTP(bus *mem.Bus, wbuf *mem.WriteBuffer, crypto *engine.Engine, s *snc.SNC) *OTP {
 	return &OTP{
-		bus:    bus,
-		wbuf:   wbuf,
-		crypto: crypto,
-		snc:    s,
-		policy: s.Config().Policy,
-		seqMem: make(map[uint64]uint16),
+		bus:     bus,
+		wbuf:    wbuf,
+		crypto:  crypto,
+		snc:     s,
+		policy:  s.Config().Policy,
+		pidBits: 16, // registry construction narrows this for switch=pid
+		seqMem:  make(map[uint64]uint16),
 	}
 }
 
@@ -200,7 +278,8 @@ func (o *OTP) readLine(now uint64, a Access) (ready, arrival uint64) {
 		arrival = o.bus.Read(now, mem.SrcLineFill)
 		return max64(arrival, pad) + 1, arrival
 	}
-	seq, hit := o.snc.Query(a.VA)
+	va := o.tagged(a.VA)
+	seq, hit := o.snc.Query(va)
 	_ = seq
 	if hit {
 		o.queryHits++
@@ -219,9 +298,25 @@ func (o *OTP) readLine(now uint64, a Access) (ready, arrival uint64) {
 		o.seqFetches++
 		seqPlain := o.crypto.Issue(seqArrival) // decrypt the seq number
 		pad := o.crypto.Issue(seqPlain)        // encrypt the seeds
-		o.installFetched(now, a.VA)
+		o.installFetched(now, va)
 		return max64(arrival, pad) + 1, arrival
 	default: // NoReplacement
+		if seq, ok := o.seqMem[va]; ok {
+			// The line was covered before a context-switch flush spilled
+			// its number: its data is still pad-encrypted in memory, so the
+			// read takes the LRU-style path — fetch + decrypt the spilled
+			// number, then generate the pad. Re-cover the line if a vacancy
+			// exists.
+			arrival = o.bus.Read(now, mem.SrcLineFill)
+			seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
+			o.seqFetches++
+			seqPlain := o.crypto.Issue(seqArrival)
+			pad := o.crypto.Issue(seqPlain)
+			if o.snc.TryInstall(va, seq) {
+				delete(o.seqMem, va)
+			}
+			return max64(arrival, pad) + 1, arrival
+		}
 		// Uncovered line: it was encrypted directly (XOM-style), so the
 		// read pays the serial decrypt.
 		o.directReads++
@@ -259,8 +354,21 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 		// Instruction lines are never dirty; nothing to do.
 		return now
 	}
-	if _, hit := o.snc.Update(a.VA); hit {
+	va := o.tagged(a.VA)
+	if _, hit, wrapped := o.snc.Update(va); hit {
 		o.updateHits++
+		if wrapped {
+			// The 16-bit sequence space for this line is exhausted: using
+			// the wrapped number would reuse a one-time pad. The paper's
+			// remedy is to re-encrypt the covered line under fresh keying
+			// material, so this writeback pays a direct (serial) encryption
+			// instead of the pad XOR.
+			o.reencrypts++
+			ready := o.crypto.Issue(now)
+			return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+				return o.bus.Write(start, mem.SrcWriteback)
+			})
+		}
 		// Pad generation and XOR happen while the line sits in the write
 		// buffer; one extra cycle for the XOR vs XOM (Section 4.2).
 		pad := o.crypto.Issue(now)
@@ -277,14 +385,54 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 		seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
 		o.seqFetches++
 		seqPlain := o.crypto.Issue(seqArrival)
+		wrapped := o.seqMem[va] == math.MaxUint16
+		o.seqMem[va]++ // increment the architectural copy
+		o.installFetched(now, va)
+		if wrapped {
+			// Same pad-space exhaustion as the hit path, caught on the
+			// in-memory copy: count it with the SNC-observed wraps so the
+			// stat covers every exhaustion, and charge the re-encryption.
+			o.snc.SeqOverflows++
+			o.reencrypts++
+			ready := o.crypto.Issue(seqPlain)
+			return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+				return o.bus.Write(start, mem.SrcWriteback)
+			})
+		}
 		pad := o.crypto.Issue(seqPlain)
-		o.seqMem[a.VA]++ // increment the architectural copy
-		o.installFetched(now, a.VA)
 		return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
 			return o.bus.Write(start, mem.SrcWriteback)
 		})
 	default: // NoReplacement
-		if o.snc.TryInstall(a.VA, 1) {
+		if prev, ok := o.seqMem[va]; ok {
+			// Covered before a context-switch flush: the pad space for
+			// this line continues from the spilled number — restarting at
+			// 1 would reuse pads. Fetch + decrypt the stored number (write
+			// buffer's shadow), increment, re-cover if possible.
+			seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
+			o.seqFetches++
+			seqPlain := o.crypto.Issue(seqArrival)
+			wrapped := prev == math.MaxUint16
+			next := prev + 1
+			if o.snc.TryInstall(va, next) {
+				delete(o.seqMem, va)
+			} else {
+				o.seqMem[va] = next
+			}
+			if wrapped {
+				o.snc.SeqOverflows++
+				o.reencrypts++
+				ready := o.crypto.Issue(seqPlain)
+				return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+					return o.bus.Write(start, mem.SrcWriteback)
+				})
+			}
+			pad := o.crypto.Issue(seqPlain)
+			return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
+				return o.bus.Write(start, mem.SrcWriteback)
+			})
+		}
+		if o.snc.TryInstall(va, 1) {
 			// Vacancy: the line joins the one-time-pad world with a fresh
 			// sequence number.
 			pad := o.crypto.Issue(now)
@@ -301,28 +449,54 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 	}
 }
 
-// ContextSwitch models Section 4.3's option 1 for protecting SNC contents
-// across a task switch: every valid entry is flushed to memory with (direct)
-// encryption. The sequence numbers stream through the crypto unit and the
-// write buffer; the returned cycle is when the flush has fully drained —
-// the new task can start issuing earlier, but the bus sees the spill burst.
-// The flushed numbers land in the in-memory table, so the original task
-// finds them again via query misses when it resumes.
-func (o *OTP) ContextSwitch(now uint64) (flushDone uint64) {
-	flushDone = now
-	for _, pair := range o.snc.FlushAll() {
-		lineVA, seq := pair[0], uint16(pair[1])
-		o.seqMem[lineVA] = seq
-		o.spills++
-		ready := o.crypto.Issue(now)
-		done := o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-			return o.bus.Write(start, mem.SrcSeqNumSpill)
-		})
-		if done > flushDone {
-			flushDone = done
+// SwitchPolicy returns the configured Section 4.3 context-switch policy.
+func (o *OTP) SwitchPolicy() SwitchPolicy { return o.switchPolicy }
+
+// ContextSwitch implements ContextSwitcher with the configured Section 4.3
+// policy.
+//
+// Under SwitchFlush (option 1) every valid entry is flushed to memory with
+// (direct) encryption: the sequence numbers stream through the crypto unit
+// and the write buffer, and the returned cycle is when the flush has fully
+// drained — the new task can start issuing earlier, but the bus sees the
+// spill burst. The flushed numbers land in the in-memory table under the
+// outgoing process's keys, so the original task finds them again via query
+// misses when it resumes.
+//
+// Under SwitchPID (option 2) entries are process-tagged and nothing leaves
+// the chip: the switch only changes the tag every subsequent SNC key
+// carries. The cost shows up as capacity, not traffic — tag bits shrink the
+// SNC and co-scheduled tasks evict each other's entries through normal LRU
+// pressure.
+func (o *OTP) ContextSwitch(now uint64, next int) (done uint64) {
+	o.switches++
+	done = now
+	flush := o.switchPolicy != SwitchPID
+	if !flush {
+		// A process ID beyond the tag width cannot be distinguished from
+		// an earlier process sharing its truncated tag, so the hardware
+		// must purge whenever such a process enters or leaves — option 2
+		// degenerates to a flush on those edges.
+		if limit := 1 << o.pidBits; o.pid >= limit || next >= limit {
+			flush = true
 		}
 	}
-	return flushDone
+	if flush {
+		for _, pair := range o.snc.FlushAll() {
+			lineVA, seq := pair[0], uint16(pair[1])
+			o.seqMem[lineVA] = seq
+			o.spills++
+			ready := o.crypto.Issue(now)
+			d := o.wbuf.Insert(now, ready, func(start uint64) uint64 {
+				return o.bus.Write(start, mem.SrcSeqNumSpill)
+			})
+			if d > done {
+				done = d
+			}
+		}
+	}
+	o.pid = next
+	return done
 }
 
 // Stats implements Scheme.
@@ -337,6 +511,9 @@ func (o *OTP) Stats() *stats.Set {
 	s.Add("otp.direct_writes", o.directWrites)
 	s.Add("otp.spills", o.spills)
 	s.Add("otp.seq_fetches", o.seqFetches)
+	s.Add("otp.reencrypts", o.reencrypts)
+	s.Add("otp.seq_overflows", o.snc.SeqOverflows)
+	s.Add("otp.switches", o.switches)
 	return s
 }
 
@@ -345,6 +522,7 @@ func (o *OTP) ResetStats() {
 	o.instrReads, o.queryHits, o.queryMisses = 0, 0, 0
 	o.updateHits, o.updateMisses = 0, 0
 	o.directReads, o.directWrites, o.spills, o.seqFetches = 0, 0, 0, 0
+	o.reencrypts, o.switches = 0, 0
 	o.snc.ResetStats()
 }
 

@@ -24,16 +24,30 @@ type FigureResult struct {
 	// Paper is empty for measured-only figures.
 	Measured []stats.Series
 	Paper    []stats.Series
+	// Rows overrides the table's row labels; empty means the standard
+	// benchmark list. Figures whose natural rows are not benchmarks
+	// (Figure C1's pair × quantum sweep) set it.
+	Rows []string
 	// Notes records modelling caveats for this figure.
 	Notes string
 }
 
 // Render formats the figure as a text table: for every measured series the
-// matching paper series (if any) is printed next to it.
+// matching paper series (if any) is printed next to it. A paper series list
+// that does not align with the measured one is reported explicitly rather
+// than silently dropped.
 func (fr FigureResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", fr.ID, fr.Title)
 	withPaper := len(fr.Paper) == len(fr.Measured) && len(fr.Paper) > 0
+	if len(fr.Paper) > 0 && !withPaper {
+		fmt.Fprintf(&b, "WARNING: %d paper series cannot be aligned with %d measured series; paper columns omitted\n",
+			len(fr.Paper), len(fr.Measured))
+	}
+	rows := fr.Rows
+	if len(rows) == 0 {
+		rows = Benchmarks
+	}
 	cols := []string{"benchmark"}
 	for i := range fr.Measured {
 		if withPaper {
@@ -42,7 +56,7 @@ func (fr FigureResult) Render() string {
 		cols = append(cols, fr.Measured[i].Name)
 	}
 	t := stats.NewTable("", cols...)
-	for _, bench := range Benchmarks {
+	for _, bench := range rows {
 		cells := []string{bench}
 		for i := range fr.Measured {
 			if withPaper {
@@ -376,9 +390,11 @@ func (r *Runner) Figure10() FigureResult { return r.figure("fig10") }
 // benchmarks — the question the paper leaves open.
 func (r *Runner) FigureI1() FigureResult { return r.figure("figI1") }
 
-// All regenerates every figure in paper order. Every required simulation is
-// enqueued up front and fanned out over the worker pool, then the figures
-// are assembled in deterministic order from the memoized results.
+// All regenerates every figure in paper order. Every required single-
+// program simulation is enqueued up front and fanned out over the worker
+// pool, then the figures are assembled in deterministic order from the
+// memoized results; the multiprogrammed Figure C1 (which drives its own
+// scheduler runs) comes last.
 func (r *Runner) All() []FigureResult {
 	specs := figureSpecs()
 	var keys []runKey
@@ -394,21 +410,22 @@ func (r *Runner) All() []FigureResult {
 	if err := r.sweep(context.Background(), keys); err != nil {
 		panic(err)
 	}
-	out := make([]FigureResult, len(specs))
-	for i, f := range specs {
-		out[i] = r.build(f)
+	out := make([]FigureResult, 0, len(specs)+1)
+	for _, f := range specs {
+		out = append(out, r.build(f))
 	}
+	out = append(out, r.FigureC1())
 	return out
 }
 
 // Names lists the regenerable figures.
 func Names() []string {
 	specs := figureSpecs()
-	out := make([]string, len(specs))
-	for i, f := range specs {
-		out[i] = f.short
+	out := make([]string, 0, len(specs)+1)
+	for _, f := range specs {
+		out = append(out, f.short)
 	}
-	return out
+	return append(out, "figC1")
 }
 
 // ByName regenerates one figure by short name ("fig5", case-insensitive);
@@ -420,6 +437,9 @@ func (r *Runner) ByName(name string) (FigureResult, error) {
 		if n == short || n == "figure"+strings.TrimPrefix(short, "fig") || n == strings.TrimPrefix(short, "fig") {
 			return r.figure(f.short), nil
 		}
+	}
+	if n == "figc1" || n == "figurec1" || n == "c1" {
+		return r.FigureC1(), nil
 	}
 	return FigureResult{}, fmt.Errorf("experiments: unknown figure %q (have %s)", name, strings.Join(Names(), ", "))
 }

@@ -147,17 +147,18 @@ func TestRunnerMemoizes(t *testing.T) {
 
 func TestAllReturnsEveryFigure(t *testing.T) {
 	// Smoke test at tiny scale: all figures build; the seven paper figures
-	// carry paper series, the integrity extension is measured-only.
+	// carry paper series, the integrity and multiprogramming extensions are
+	// measured-only.
 	frs := NewRunner(0.05).All()
-	if len(frs) != 8 {
-		t.Fatalf("got %d figures, want 8", len(frs))
+	if len(frs) != 9 {
+		t.Fatalf("got %d figures, want 9", len(frs))
 	}
 	for _, fr := range frs {
 		if len(fr.Measured) == 0 {
 			t.Errorf("%s: no measured series", fr.ID)
 			continue
 		}
-		if fr.ID == "Figure I1" {
+		if fr.ID == "Figure I1" || fr.ID == "Figure C1" {
 			if len(fr.Paper) != 0 {
 				t.Errorf("%s: unexpected paper series", fr.ID)
 			}
@@ -212,6 +213,65 @@ func TestSchemesResolvableThroughRegistry(t *testing.T) {
 			if _, err := sim.SchemeByName(s.scheme); err != nil {
 				t.Errorf("%s series %q: scheme %q not resolvable: %v", f.id, s.name, s.scheme, err)
 			}
+		}
+	}
+}
+
+// TestRenderReportsPaperMismatch: a paper series list that cannot be
+// aligned with the measured series must be called out, not silently
+// dropped.
+func TestRenderReportsPaperMismatch(t *testing.T) {
+	fr := FigureResult{
+		ID:    "Figure T",
+		Title: "mismatch test",
+		Measured: []stats.Series{
+			stats.NewSeries("a (measured)", Benchmarks, make([]float64, len(Benchmarks))),
+			stats.NewSeries("b (measured)", Benchmarks, make([]float64, len(Benchmarks))),
+		},
+		Paper: []stats.Series{PaperFig3XOM},
+	}
+	out := fr.Render()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "1 paper series") ||
+		!strings.Contains(out, "2 measured series") {
+		t.Errorf("mismatch not reported:\n%s", out)
+	}
+	if strings.Contains(out, PaperFig3XOM.Name) {
+		t.Error("unaligned paper column rendered anyway")
+	}
+	// Aligned figures must not warn.
+	if out := (FigureResult{Measured: fr.Measured[:1], Paper: fr.Paper}).Render(); strings.Contains(out, "WARNING") {
+		t.Errorf("aligned figure warned:\n%s", out)
+	}
+}
+
+// TestFigureC1Shapes asserts the multiprogramming figure's qualitative
+// claims at test scale: flush always costs more than pid, flush always
+// pays switch traffic, pid never does, and shorter quanta hurt more.
+func TestFigureC1Shapes(t *testing.T) {
+	fr := NewRunner(0.05).FigureC1()
+	if len(fr.Rows) == 0 {
+		t.Fatal("figure C1 must define its own rows")
+	}
+	flushSlow, pidSlow := fr.Measured[0], fr.Measured[1]
+	flushTraffic, pidTraffic := fr.Measured[2], fr.Measured[3]
+	for i, row := range fr.Rows {
+		if flushSlow.Values[i] <= pidSlow.Values[i] {
+			t.Errorf("%s: flush slowdown %.2f%% not above pid %.2f%%",
+				row, flushSlow.Values[i], pidSlow.Values[i])
+		}
+		if flushTraffic.Values[i] <= 0 {
+			t.Errorf("%s: flush switch traffic %.2f%%, want > 0", row, flushTraffic.Values[i])
+		}
+		if pidTraffic.Values[i] != 0 {
+			t.Errorf("%s: pid switch traffic %.2f%%, want exactly 0", row, pidTraffic.Values[i])
+		}
+	}
+	// Rows come in (q=10000, q=50000) pairs per benchmark pair; the shorter
+	// quantum must slow the pair down at least as much under flush.
+	for i := 0; i+1 < len(fr.Rows); i += 2 {
+		if flushSlow.Values[i] < flushSlow.Values[i+1] {
+			t.Errorf("flush: quantum 10K (%.2f%%) milder than 50K (%.2f%%)",
+				flushSlow.Values[i], flushSlow.Values[i+1])
 		}
 	}
 }

@@ -86,6 +86,10 @@ func (s TrafficSource) String() string {
 type Bus struct {
 	cfg      DRAMConfig
 	nextFree uint64
+	// writeFree is when the last write transfer ends: writes serialize
+	// against each other even though they never reserve the bus against
+	// future reads.
+	writeFree uint64
 	// Transactions counts bus uses by source.
 	Transactions [numSources]uint64
 	// BusyCycles is total bus occupancy.
@@ -117,13 +121,19 @@ func (b *Bus) Read(now uint64, src TrafficSource) (done uint64) {
 // returning when the transfer completes. Following the paper's write-buffer
 // model ("write buffers ... steal idle bus cycles efficiently", Section
 // 3.4), writes yield to demand reads: they wait for any in-progress read
-// transfer but do not reserve the bus against future reads. Their occupancy
-// is still accounted in BusyCycles and Transactions.
+// transfer but do not reserve the bus against future reads. They do occupy
+// the single bus while transferring, so writes serialize against each other
+// — a burst of writebacks issued at the same cycle drains one line-time
+// apart, not for free in parallel.
 func (b *Bus) Write(now uint64, src TrafficSource) (done uint64) {
 	start := now
 	if b.nextFree > start {
 		start = b.nextFree
 	}
+	if b.writeFree > start {
+		start = b.writeFree
+	}
+	b.writeFree = start + b.cfg.BusCyclesPerLine
 	b.BusyCycles += b.cfg.BusCyclesPerLine
 	b.Transactions[src]++
 	return start + b.cfg.BusCyclesPerLine

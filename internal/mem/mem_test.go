@@ -51,6 +51,26 @@ func TestBusContention(t *testing.T) {
 	}
 }
 
+func TestBusWritesSerialize(t *testing.T) {
+	// Two writebacks issued at the same cycle occupy the single bus one
+	// after the other; they must not overlap for free.
+	b := NewBus(DefaultDRAMConfig())
+	d1 := b.Write(0, SrcWriteback)
+	d2 := b.Write(0, SrcWriteback)
+	d3 := b.Write(0, SrcSeqNumSpill)
+	if d1 != 8 || d2 != 16 || d3 != 24 {
+		t.Errorf("write burst = %d,%d,%d want 8,16,24", d1, d2, d3)
+	}
+	// Writes still do not reserve the bus against future demand reads.
+	if d4 := b.Read(0, SrcLineFill); d4 != 108 {
+		t.Errorf("read alongside write burst = %d, want 108", d4)
+	}
+	// But a write issued later still queues behind the earlier writes.
+	if d5 := b.Write(10, SrcWriteback); d5 != 32 {
+		t.Errorf("late write = %d, want 32 (queued behind the burst)", d5)
+	}
+}
+
 func TestBusTrafficAccounting(t *testing.T) {
 	b := NewBus(DefaultDRAMConfig())
 	b.Read(0, SrcLineFill)

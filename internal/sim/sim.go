@@ -321,6 +321,82 @@ func (s *System) step(rec workload.Record) {
 	}
 }
 
+// Step feeds one trace record through the machine. External drivers (the
+// multiprogrammed scheduler in internal/sched) use it to interleave several
+// streams on one system; Run remains the single-stream entry point.
+func (s *System) Step(rec workload.Record) { s.step(rec) }
+
+// Cycles returns the core's current clock.
+func (s *System) Cycles() uint64 { return s.cpu.Cycles() }
+
+// Retired returns the number of instructions retired so far.
+func (s *System) Retired() uint64 { return s.cpu.Retired() }
+
+// Drain stalls until all outstanding misses complete (end of a run).
+func (s *System) Drain() { s.cpu.Drain() }
+
+// BusDemandTransactions returns fills + writebacks so far (the traffic
+// denominator external drivers report percentages against).
+func (s *System) BusDemandTransactions() uint64 { return s.bus.DemandTransactions() }
+
+// SwitchCost itemizes what one task switch put on the memory system.
+type SwitchCost struct {
+	// DirtyWritebacks is the number of dirty lines the cache invalidation
+	// pushed out through the scheme's writeback path.
+	DirtyWritebacks uint64
+	// SeqSpills is the switch-induced SNC spill traffic (nonzero only for
+	// the flush policy).
+	SeqSpills uint64
+	// SchemeDone is the cycle the scheme's switch work has fully drained
+	// (== the switch cycle when the scheme has no per-process state).
+	SchemeDone uint64
+}
+
+// ContextSwitch switches the machine to process next (Section 4.3 put on
+// the timing path): every cache level is invalidated, dirty lines are
+// written back through the protection scheme under the outgoing process,
+// and then the scheme's own context-switch policy runs (SNC flush-encrypt,
+// or a PID tag change). The CPU is charged exactly what the components
+// charge — writebacks drain through the write buffer and stall the core
+// only on buffer pressure.
+func (s *System) ContextSwitch(next int) SwitchCost {
+	spills0 := s.bus.Transactions[mem.SrcSeqNumSpill]
+	var cost SwitchCost
+
+	// Invalidate the hierarchy. L1 lines are smaller than L2 lines; dirty
+	// state is written back at L2 granularity, deduplicated so a line dirty
+	// in both levels goes out once.
+	s.l1i.InvalidateAll()
+	type victim struct{ pa, va uint64 }
+	var victims []victim
+	seen := make(map[uint64]bool)
+	add := func(pa, va uint64) {
+		lpa := s.l2.LineAddr(pa)
+		if !seen[lpa] {
+			seen[lpa] = true
+			victims = append(victims, victim{lpa, s.l2.LineAddr(va)})
+		}
+	}
+	for _, d := range s.l1d.InvalidateAll() {
+		add(d[0], d[1])
+	}
+	for _, d := range s.l2.InvalidateAll() {
+		add(d[0], d[1])
+	}
+	for _, v := range victims {
+		cpuFree := s.scheme.WritebackLine(s.cpu.Cycles(), core.Access{PA: v.pa, VA: v.va})
+		s.cpu.WaitUntil(cpuFree)
+	}
+	cost.DirtyWritebacks = uint64(len(victims))
+
+	cost.SchemeDone = s.cpu.Cycles()
+	if cs, ok := s.scheme.(core.ContextSwitcher); ok {
+		cost.SchemeDone = cs.ContextSwitch(s.cpu.Cycles(), next)
+	}
+	cost.SeqSpills = s.bus.Transactions[mem.SrcSeqNumSpill] - spills0
+	return cost
+}
+
 // BeginMeasurement marks the warmup/measurement boundary: microarchitectural
 // state (cache and SNC contents, LRU recency, clock) is kept, but all
 // statistics restart — mirroring the paper's fast-forward protocol.

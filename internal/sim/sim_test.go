@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"secureproc/internal/mem"
+	"secureproc/internal/snc"
 	"secureproc/internal/workload"
 )
 
@@ -451,5 +453,104 @@ func TestPrecomputeHidesLargeCryptoLatency(t *testing.T) {
 	pre := Slowdown(run(SchemeOTPPrecompute, 300), base)
 	if pre >= lru {
 		t.Errorf("300-cycle crypto: precompute (%.2f%%) should beat OTP-LRU (%.2f%%)", pre, lru)
+	}
+}
+
+// mkStore returns a store record for addr with no leading compute gap.
+func mkStore(addr uint64) workload.Record {
+	return workload.Record{Kind: workload.Store, Addr: addr}
+}
+
+// TestContextSwitchWritesBackDirtyLines pins the invalidation half of a
+// task switch on the timing path: dirty lines reach the bus through the
+// scheme's writeback path exactly once, and cache stats stay coherent.
+func TestContextSwitchWritesBackDirtyLines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeOTPLRU
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty 16 distinct L2 lines (128B apart).
+	for i := uint64(0); i < 16; i++ {
+		sys.Step(mkStore(0x4000_0000 + i*128))
+	}
+	wb0 := sys.bus.Transactions[mem.SrcWriteback]
+	cost := sys.ContextSwitch(1)
+	if cost.DirtyWritebacks != 16 {
+		t.Errorf("switch wrote back %d lines, want 16", cost.DirtyWritebacks)
+	}
+	if got := sys.bus.Transactions[mem.SrcWriteback] - wb0; got != 16 {
+		t.Errorf("bus saw %d switch writebacks, want 16", got)
+	}
+	if sys.l2.Probe(0x4000_0000) {
+		t.Error("L2 still holds a line after invalidation")
+	}
+	// A second switch straight after finds nothing dirty.
+	if cost := sys.ContextSwitch(0); cost.DirtyWritebacks != 0 {
+		t.Errorf("second switch wrote back %d lines, want 0", cost.DirtyWritebacks)
+	}
+	// Stats remain internally consistent: the invalidation writebacks are
+	// counted by the caches too.
+	if sys.l2.Writebacks == 0 {
+		t.Error("L2 writeback counter missed the invalidation")
+	}
+}
+
+// TestContextSwitchFlushVsPID pins the two Section 4.3 policies end to end:
+// after a switch away and back, the flush policy refetches its sequence
+// numbers through query misses while the pid policy still hits — and only
+// the flush policy puts spill traffic on the bus.
+func TestContextSwitchFlushVsPID(t *testing.T) {
+	run := func(schemeRef string) (spills uint64, missesOnResume uint64, hitsOnResume uint64) {
+		ref, err := SchemeByName(schemeRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Scheme = ref
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Task 0 dirties lines, installing SNC entries via writeback misses
+		// and the switch's own writebacks.
+		lines := make([]uint64, 32)
+		for i := range lines {
+			lines[i] = 0x4000_0000 + uint64(i)*128
+			sys.Step(mkStore(lines[i]))
+		}
+		cost := sys.ContextSwitch(1) // away: task 1 runs
+		spills = cost.SeqSpills
+		// Task 1 does unrelated work at the same VAs (a different address
+		// space).
+		for i := uint64(0); i < 8; i++ {
+			sys.Step(mkStore(0x4000_0000 + i*128))
+		}
+		sys.ContextSwitch(0) // back to task 0
+		sn := sys.Scheme().(interface{ SNC() *snc.SNC }).SNC()
+		q0, m0 := sn.QueryHits, sn.QueryMisses
+		// Task 0 reloads its lines: every load is an L2 miss (caches were
+		// invalidated), so each one queries the SNC.
+		for _, a := range lines {
+			sys.Step(workload.Record{Kind: workload.Load, Addr: a})
+		}
+		return spills, sn.QueryMisses - m0, sn.QueryHits - q0
+	}
+
+	flushSpills, flushMisses, _ := run("snc-lru:switch=flush")
+	pidSpills, _, pidHits := run("snc-lru:switch=pid")
+
+	if flushSpills == 0 {
+		t.Error("flush policy must spill SNC contents at the switch")
+	}
+	if flushMisses == 0 {
+		t.Error("flush policy must refetch sequence numbers on resume")
+	}
+	if pidSpills != 0 {
+		t.Errorf("pid policy spilled %d entries at the switch, want 0", pidSpills)
+	}
+	if pidHits == 0 {
+		t.Error("pid policy must hit its surviving entries on resume")
 	}
 }

@@ -22,6 +22,7 @@ package snc
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -61,6 +62,12 @@ type Config struct {
 	LineBytes int
 	// Policy is the replacement policy.
 	Policy Policy
+	// PIDBits is the per-entry process-ID tag width for multiprogrammed
+	// operation (Section 4.3 option 2: "attaching a process ID to each
+	// sequence number"). Tag bits are stored alongside each sequence number
+	// in the same SizeBytes, shrinking the number of entries the SNC holds;
+	// 0 means untagged (single-process operation).
+	PIDBits int
 }
 
 // DefaultConfig is the paper's primary configuration: 64KB, fully
@@ -77,7 +84,13 @@ func (c Config) Validate() error {
 	if c.SizeBytes%c.EntryBytes != 0 {
 		return fmt.Errorf("snc: size %d not a multiple of entry size %d", c.SizeBytes, c.EntryBytes)
 	}
+	if c.PIDBits < 0 || c.PIDBits > 16 {
+		return fmt.Errorf("snc: pid tag width %d out of range [0,16]", c.PIDBits)
+	}
 	entries := c.Entries()
+	if entries <= 0 {
+		return fmt.Errorf("snc: no entries fit %d bytes with %d-bit pid tags", c.SizeBytes, c.PIDBits)
+	}
 	ways := c.Ways
 	if ways == 0 {
 		ways = entries
@@ -94,8 +107,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Entries returns the number of sequence numbers the SNC can hold.
-func (c Config) Entries() int { return c.SizeBytes / c.EntryBytes }
+// Entries returns the number of sequence numbers the SNC can hold. PID tag
+// bits ride in the same storage, so a tagged SNC holds fewer entries; a
+// set-associative tagged SNC additionally rounds down to the hardware's
+// power-of-two set structure.
+func (c Config) Entries() int {
+	if c.PIDBits <= 0 {
+		return c.SizeBytes / c.EntryBytes
+	}
+	raw := c.SizeBytes * 8 / (c.EntryBytes*8 + c.PIDBits)
+	if c.Ways <= 0 {
+		return raw // fully associative: a single set holds any count
+	}
+	sets := raw / c.Ways
+	if sets <= 0 {
+		return 0
+	}
+	sets = 1 << (bits.Len(uint(sets)) - 1)
+	return sets * c.Ways
+}
 
 // CoverageBytes returns how much memory the SNC can cover (entries × line).
 func (c Config) CoverageBytes() int { return c.Entries() * c.LineBytes }
@@ -110,8 +140,7 @@ type entry struct {
 
 // set holds the per-set LRU list endpoints and a tag index.
 type set struct {
-	head, tail int // MRU..LRU (indices into SNC.entries; -1 = empty)
-	count      int
+	head, tail int            // MRU..LRU (indices into SNC.entries; -1 = empty)
 	index      map[uint64]int // tag -> entry slot
 	free       []int          // vacant slots belonging to this set
 }
@@ -134,6 +163,7 @@ type SNC struct {
 	UpdateMisses uint64
 	Evictions    uint64
 	Rejected     uint64 // NoReplacement installs refused because full
+	SeqOverflows uint64 // Updates that wrapped a 16-bit sequence number
 }
 
 // New builds an SNC, panicking on invalid configuration.
@@ -155,16 +185,25 @@ func New(cfg Config) *SNC {
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 	}
 	for i := range s.sets {
-		st := &s.sets[i]
-		st.head, st.tail = -1, -1
-		st.index = make(map[uint64]int)
-		st.free = make([]int, 0, ways)
-		// Slots [i*ways, (i+1)*ways) belong to set i.
-		for w := ways - 1; w >= 0; w-- {
-			st.free = append(st.free, i*ways+w)
-		}
+		s.resetSet(i, ways)
 	}
 	return s
+}
+
+// resetSet empties set si and rebuilds its vacancy free-list over slots
+// [si*ways, (si+1)*ways). Shared by New and FlushAll so the two construct
+// identical vacancy state.
+func (s *SNC) resetSet(si, ways int) {
+	st := &s.sets[si]
+	st.head, st.tail = -1, -1
+	st.index = make(map[uint64]int)
+	if st.free == nil {
+		st.free = make([]int, 0, ways)
+	}
+	st.free = st.free[:0]
+	for w := ways - 1; w >= 0; w-- {
+		st.free = append(st.free, si*ways+w)
+	}
 }
 
 // unlink removes slot from its set's LRU list.
@@ -229,18 +268,26 @@ func (s *SNC) Query(lineVA uint64) (seq uint16, hit bool) {
 
 // Update increments and returns the sequence number for a line being
 // *written back* (paper equation 4: SeqNo_i += 1 before forming the seed).
-// On a miss it returns hit=false and the caller applies the policy.
-func (s *SNC) Update(lineVA uint64) (seq uint16, hit bool) {
+// On a miss it returns hit=false and the caller applies the policy. wrapped
+// reports that the 16-bit counter overflowed back to zero: the (address,
+// seq) seed space for the line is exhausted and reusing it would reuse a
+// one-time pad, so the caller must re-key — the OTP scheme charges a direct
+// re-encryption of the covered line (Section 3.4.2's remedy).
+func (s *SNC) Update(lineVA uint64) (seq uint16, hit, wrapped bool) {
 	st, tag := s.locate(lineVA)
 	if slot, ok := st.index[tag]; ok {
 		s.UpdateHits++
 		e := &s.entries[slot]
+		if e.seq == math.MaxUint16 {
+			s.SeqOverflows++
+			wrapped = true
+		}
 		e.seq++
 		s.touch(st, slot)
-		return e.seq, true
+		return e.seq, true, wrapped
 	}
 	s.UpdateMisses++
-	return 0, false
+	return 0, false, false
 }
 
 // Install places a (line, seq) pair fetched from memory into the SNC,
@@ -332,12 +379,7 @@ func (s *SNC) FlushAll() (spilled [][2]uint64) {
 			e := &s.entries[slot]
 			spilled = append(spilled, [2]uint64{e.tag << s.lineShift, uint64(e.seq)})
 		}
-		st.head, st.tail, st.count = -1, -1, 0
-		st.index = make(map[uint64]int)
-		st.free = st.free[:0]
-		for w := ways - 1; w >= 0; w-- {
-			st.free = append(st.free, si*ways+w)
-		}
+		s.resetSet(si, ways)
 	}
 	s.occupied = 0
 	return spilled
@@ -356,5 +398,5 @@ func (s *SNC) HitRate() float64 {
 // ResetStats clears counters but keeps contents.
 func (s *SNC) ResetStats() {
 	s.QueryHits, s.QueryMisses, s.UpdateHits, s.UpdateMisses = 0, 0, 0, 0
-	s.Evictions, s.Rejected = 0, 0
+	s.Evictions, s.Rejected, s.SeqOverflows = 0, 0, 0
 }

@@ -67,19 +67,22 @@ func TestUpdateIncrements(t *testing.T) {
 	s := New(smallCfg(LRU, 0))
 	s.Install(0x80, 0)
 	for want := uint16(1); want <= 3; want++ {
-		seq, hit := s.Update(0x80)
-		if !hit || seq != want {
-			t.Fatalf("update %d: seq=%d hit=%v", want, seq, hit)
+		seq, hit, wrapped := s.Update(0x80)
+		if !hit || seq != want || wrapped {
+			t.Fatalf("update %d: seq=%d hit=%v wrapped=%v", want, seq, hit, wrapped)
 		}
 	}
 	if s.UpdateHits != 3 {
 		t.Errorf("UpdateHits = %d", s.UpdateHits)
 	}
+	if s.SeqOverflows != 0 {
+		t.Errorf("SeqOverflows = %d on non-wrapping updates", s.SeqOverflows)
+	}
 }
 
 func TestUpdateMissReturnsMiss(t *testing.T) {
 	s := New(smallCfg(LRU, 0))
-	if _, hit := s.Update(0x4000); hit {
+	if _, hit, _ := s.Update(0x4000); hit {
 		t.Error("update of absent line should miss")
 	}
 	if s.UpdateMisses != 1 {
@@ -215,13 +218,80 @@ func TestHitRateAndReset(t *testing.T) {
 }
 
 // TestSeqWrapsAt16Bits documents the 2-byte entry width: 0xFFFF increments
-// to 0.
+// to 0, and the wrap is reported so the scheme can re-key instead of
+// silently reusing the exhausted pad space.
 func TestSeqWrapsAt16Bits(t *testing.T) {
 	s := New(smallCfg(LRU, 0))
 	s.Install(0, 0xFFFF)
-	seq, hit := s.Update(0)
-	if !hit || seq != 0 {
-		t.Errorf("wrap: seq=%d hit=%v, want 0 true", seq, hit)
+	seq, hit, wrapped := s.Update(0)
+	if !hit || seq != 0 || !wrapped {
+		t.Errorf("wrap: seq=%d hit=%v wrapped=%v, want 0 true true", seq, hit, wrapped)
+	}
+	if s.SeqOverflows != 1 {
+		t.Errorf("SeqOverflows = %d, want 1", s.SeqOverflows)
+	}
+	// The next update of the re-keyed line is ordinary again.
+	if _, _, wrapped := s.Update(0); wrapped {
+		t.Error("post-wrap update reported another overflow")
+	}
+	s.ResetStats()
+	if s.SeqOverflows != 0 {
+		t.Error("ResetStats must clear SeqOverflows")
+	}
+}
+
+// TestPIDBitsShrinkCapacity checks Section 4.3 option 2's cost model: tag
+// bits ride in the same storage, so a tagged SNC holds fewer sequence
+// numbers.
+func TestPIDBitsShrinkCapacity(t *testing.T) {
+	cfg := DefaultConfig() // 64KB, 2-byte entries -> 32K entries untagged
+	if cfg.Entries() != 32<<10 {
+		t.Fatalf("untagged entries = %d", cfg.Entries())
+	}
+	cfg.PIDBits = 8 // 24 bits per entry
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 64 << 10 * 8 / 24
+	if cfg.Entries() != want {
+		t.Errorf("tagged entries = %d, want %d", cfg.Entries(), want)
+	}
+	// Set-associative tagged geometry rounds down to power-of-two sets.
+	cfg.Ways = 32
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := cfg.Entries()
+	if e%32 != 0 {
+		t.Errorf("tagged 32-way entries %d not a multiple of 32", e)
+	}
+	if sets := e / 32; sets&(sets-1) != 0 {
+		t.Errorf("tagged 32-way set count %d not a power of two", sets)
+	}
+	New(cfg) // must not panic
+	// Out-of-range tag widths are rejected.
+	cfg.PIDBits = 17
+	if err := cfg.Validate(); err == nil {
+		t.Error("pid tag width 17 accepted")
+	}
+}
+
+// TestFlushAllRebuildsVacancies checks that a flushed SNC accepts exactly
+// its capacity again — FlushAll reconstructs the same free-lists New builds.
+func TestFlushAllRebuildsVacancies(t *testing.T) {
+	s := New(smallCfg(LRU, 2))
+	capacity := s.Config().Entries()
+	for i := 0; i < capacity; i++ {
+		s.Install(uint64(i)*128, uint16(i))
+	}
+	s.FlushAll()
+	for i := 0; i < capacity; i++ {
+		if _, _, evicted := s.Install(uint64(100+i)*128, 1); evicted {
+			t.Fatalf("install %d evicted in a freshly flushed SNC", i)
+		}
+	}
+	if s.Occupied() != capacity {
+		t.Errorf("occupied = %d, want %d", s.Occupied(), capacity)
 	}
 }
 

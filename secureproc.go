@@ -167,8 +167,9 @@ type FigureResult = experiments.FigureResult
 // Figures lists the regenerable paper figures.
 func Figures() []string { return experiments.Names() }
 
-// Figure regenerates one figure ("fig3" … "fig10", or "figI1" for the
-// integrity-overhead extension) at the given workload scale.
+// Figure regenerates one figure ("fig3" … "fig10", "figI1" for the
+// integrity-overhead extension, or "figC1" for the multiprogrammed
+// context-switch extension) at the given workload scale.
 func Figure(name string, scale float64) (FigureResult, error) {
 	return experiments.NewRunner(scale).ByName(name)
 }

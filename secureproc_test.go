@@ -127,8 +127,8 @@ func TestCompare(t *testing.T) {
 }
 
 func TestFigureAPI(t *testing.T) {
-	if len(secureproc.Figures()) != 8 {
-		t.Error("eight figures expected (seven paper figures + figI1)")
+	if len(secureproc.Figures()) != 9 {
+		t.Error("nine figures expected (seven paper figures + figI1 + figC1)")
 	}
 	fr, err := secureproc.Figure("fig3", 0.05)
 	if err != nil {
