@@ -7,6 +7,7 @@ package secureproc_test
 // configurations in the paper.
 
 import (
+	"flag"
 	"sync"
 	"testing"
 
@@ -22,8 +23,9 @@ import (
 )
 
 // benchScale trades fidelity for speed in the bench harness; cmd/figures
-// defaults to 1.0.
-const benchScale = 0.15
+// defaults to 1.0. Override per invocation with
+// `go test -bench . -benchscale 0.5`.
+var benchScale = flag.Float64("benchscale", 0.15, "workload scale for the figure benchmarks")
 
 var (
 	runnerOnce sync.Once
@@ -31,7 +33,7 @@ var (
 )
 
 func sharedRunner() *experiments.Runner {
-	runnerOnce.Do(func() { runner = experiments.NewRunner(benchScale) })
+	runnerOnce.Do(func() { runner = experiments.NewRunner(*benchScale) })
 	return runner
 }
 
@@ -42,9 +44,17 @@ func reportSeries(b *testing.B, fr experiments.FigureResult) {
 	}
 }
 
+// metricNames caches sanitized series names: the same handful of series
+// labels recur across every figure benchmark iteration, so each is
+// sanitized once instead of being rebuilt rune-by-rune per report.
+var metricNames sync.Map // raw name -> sanitized string
+
 // metricName strips whitespace and parentheses (ReportMetric units must not
-// contain whitespace).
+// contain whitespace), memoizing the result.
 func metricName(name string) string {
+	if v, ok := metricNames.Load(name); ok {
+		return v.(string)
+	}
 	out := make([]rune, 0, len(name))
 	for _, r := range name {
 		switch r {
@@ -53,7 +63,9 @@ func metricName(name string) string {
 			out = append(out, r)
 		}
 	}
-	return string(out)
+	sanitized := string(out)
+	metricNames.Store(name, sanitized)
+	return sanitized
 }
 
 func BenchmarkFig3XOMSlowdown(b *testing.B) {
@@ -132,7 +144,7 @@ func ablationRun(b *testing.B, bench string, mutate func(*sim.Config)) sim.Resul
 	if !ok {
 		b.Fatalf("unknown benchmark %s", bench)
 	}
-	r, err := sim.RunProfile(cfg, prof, benchScale)
+	r, err := sim.RunProfile(cfg, prof, *benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -143,9 +155,9 @@ func ablationRun(b *testing.B, bench string, mutate func(*sim.Config)) sim.Resul
 // where the gap is largest (gcc).
 func BenchmarkAblationSNCPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		base, _ := secureproc.RunBenchmark("gcc", secureproc.Baseline, benchScale)
-		lru, _ := secureproc.RunBenchmark("gcc", secureproc.OTPLRU, benchScale)
-		nr, _ := secureproc.RunBenchmark("gcc", secureproc.OTPNoRepl, benchScale)
+		base, _ := secureproc.RunBenchmark("gcc", secureproc.Baseline, *benchScale)
+		lru, _ := secureproc.RunBenchmark("gcc", secureproc.OTPLRU, *benchScale)
+		nr, _ := secureproc.RunBenchmark("gcc", secureproc.OTPNoRepl, *benchScale)
 		if i == b.N-1 {
 			b.ReportMetric(sim.Slowdown(lru, base), "lru-slowdown-%")
 			b.ReportMetric(sim.Slowdown(nr, base), "norepl-slowdown-%")
@@ -220,7 +232,7 @@ func BenchmarkAblationMemLatency(b *testing.B) {
 				cfg := sim.DefaultConfig()
 				cfg.Scheme = k
 				cfg.DRAM.AccessLatency = lat
-				r, err := sim.RunProfile(cfg, prof, benchScale)
+				r, err := sim.RunProfile(cfg, prof, *benchScale)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -53,22 +53,34 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type line struct {
-	tag   uint64
+// lineMeta holds the per-line state that is not needed by the hit scan.
+type lineMeta struct {
 	va    uint64 // virtual line address kept for SNC indexing (paper §4)
-	valid bool
-	dirty bool
 	used  uint64 // LRU timestamp
+	dirty bool
 }
 
 // Cache is a set-associative cache. It tracks tags and dirty state only; the
 // simulated data contents live in the functional memory image.
+//
+// Storage is struct-of-arrays: the hit scan walks a dense tag array (one
+// 8-byte word per way, set i owning words [i*ways, (i+1)*ways)) while the
+// VA/LRU/dirty metadata lives in a parallel array touched only on hits and
+// fills. A tag word encodes validity in its low bit — (tag<<1)|1 when valid,
+// 0 when not — so the scan is a single compare per way with no way for an
+// invalid line's stale tag to alias a real one.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64
+	meta     []lineMeta
+	ways     int
 	setShift uint
 	setMask  uint64
 	tick     uint64
+
+	// dirtyScratch backs InvalidateAll's result so steady-state context
+	// switches stop allocating.
+	dirtyScratch [][2]uint64
 
 	// Statistics.
 	Accesses   uint64
@@ -88,16 +100,14 @@ func New(cfg Config) *Cache {
 		ways = lines
 	}
 	sets := lines / ways
-	c := &Cache{
+	return &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, sets),
+		tags:     make([]uint64, lines),
+		meta:     make([]lineMeta, lines),
+		ways:     ways,
 		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		setMask:  uint64(sets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
-	}
-	return c
 }
 
 // Config returns the cache configuration.
@@ -130,14 +140,16 @@ type Result struct {
 func (c *Cache) Access(addr, va uint64, write bool) Result {
 	c.Accesses++
 	c.tick++
-	set := c.sets[c.setIndex(addr)]
-	tag := addr >> c.setShift
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(c.setIndex(addr)) * c.ways
+	tags := c.tags[base : base+c.ways]
+	want := addr>>c.setShift<<1 | 1
+	for i := range tags {
+		if tags[i] == want {
 			c.Hits++
-			set[i].used = c.tick
+			m := &c.meta[base+i]
+			m.used = c.tick
 			if write {
-				set[i].dirty = true
+				m.dirty = true
 			}
 			return Result{Hit: true}
 		}
@@ -145,35 +157,38 @@ func (c *Cache) Access(addr, va uint64, write bool) Result {
 	c.Misses++
 	// Choose victim: first invalid way, else LRU.
 	victim := 0
-	for i := range set {
-		if !set[i].valid {
+	for i := range tags {
+		if tags[i] == 0 {
 			victim = i
 			break
 		}
-		if set[i].used < set[victim].used {
+		if c.meta[base+i].used < c.meta[base+victim].used {
 			victim = i
 		}
 	}
 	res := Result{}
-	if set[victim].valid {
+	if tags[victim] != 0 {
 		res.Evicted = true
-		if set[victim].dirty {
+		vm := &c.meta[base+victim]
+		if vm.dirty {
 			c.Writebacks++
 			res.WritebackNeeded = true
-			res.WritebackAddr = set[victim].tag << c.setShift
-			res.WritebackVA = set[victim].va
+			res.WritebackAddr = tags[victim] >> 1 << c.setShift
+			res.WritebackVA = vm.va
 		}
 	}
-	set[victim] = line{tag: tag, va: va &^ uint64(c.cfg.LineBytes-1), valid: true, dirty: write, used: c.tick}
+	tags[victim] = want
+	c.meta[base+victim] = lineMeta{va: va &^ uint64(c.cfg.LineBytes-1), used: c.tick, dirty: write}
 	return res
 }
 
 // Probe reports whether addr is present without touching LRU state or stats.
 func (c *Cache) Probe(addr uint64) bool {
-	set := c.sets[c.setIndex(addr)]
-	tag := addr >> c.setShift
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(c.setIndex(addr)) * c.ways
+	tags := c.tags[base : base+c.ways]
+	want := addr>>c.setShift<<1 | 1
+	for i := range tags {
+		if tags[i] == want {
 			return true
 		}
 	}
@@ -182,19 +197,21 @@ func (c *Cache) Probe(addr uint64) bool {
 
 // InvalidateAll clears the cache (used at program/compartment switches),
 // returning the dirty lines as (physical line address, VA) pairs so callers
-// can write them back. The flushed dirty lines count as writebacks.
+// can write them back. The flushed dirty lines count as writebacks. The
+// returned slice is a scratch buffer owned by the cache, valid only until
+// the next InvalidateAll call.
 func (c *Cache) InvalidateAll() (dirty [][2]uint64) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := &c.sets[si][wi]
-			if l.valid && l.dirty {
-				c.Writebacks++
-				dirty = append(dirty, [2]uint64{l.tag << c.setShift, l.va})
-			}
-			l.valid = false
-			l.dirty = false
+	dirty = c.dirtyScratch[:0]
+	for i := range c.tags {
+		m := &c.meta[i]
+		if c.tags[i] != 0 && m.dirty {
+			c.Writebacks++
+			dirty = append(dirty, [2]uint64{c.tags[i] >> 1 << c.setShift, m.va})
 		}
+		c.tags[i] = 0
+		m.dirty = false
 	}
+	c.dirtyScratch = dirty
 	return dirty
 }
 

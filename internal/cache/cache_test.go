@@ -224,7 +224,7 @@ func TestVAPropagation(t *testing.T) {
 func TestPaperL2Geometry(t *testing.T) {
 	// The paper's L2: 256KB, 4-way, 128B lines => 512 sets.
 	c := New(Config{Name: "L2", SizeBytes: 256 << 10, LineBytes: 128, Ways: 4})
-	if got := len(c.sets); got != 512 {
+	if got := len(c.tags) / c.ways; got != 512 {
 		t.Errorf("L2 sets = %d, want 512", got)
 	}
 }

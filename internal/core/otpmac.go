@@ -38,6 +38,10 @@ type OTPMAC struct {
 	policy  integrity.VerifyPolicy
 	macUnit *engine.Engine // pipelined hash unit checking/producing MACs
 
+	// drainMACUpdate is bound once at construction so steady-state MAC
+	// refreshes pass a preallocated closure to the write buffer.
+	drainMACUpdate func(uint64) uint64
+
 	macFetches  uint64
 	macUpdates  uint64
 	verified    uint64
@@ -47,7 +51,7 @@ type OTPMAC struct {
 // NewOTPMAC wraps an OTP scheme with MAC verification under the given
 // policy; verifyLatency is the MAC unit's per-line hash latency.
 func NewOTPMAC(otp *OTP, policy integrity.VerifyPolicy, verifyLatency uint64) *OTPMAC {
-	return &OTPMAC{
+	m := &OTPMAC{
 		OTP:    otp,
 		policy: policy,
 		macUnit: engine.New(engine.Config{
@@ -56,6 +60,10 @@ func NewOTPMAC(otp *OTP, policy integrity.VerifyPolicy, verifyLatency uint64) *O
 			Ports:              1,
 		}),
 	}
+	m.drainMACUpdate = func(start uint64) uint64 {
+		return m.bus.Write(start, mem.SrcMACUpdate)
+	}
+	return m
 }
 
 // Name implements Scheme.
@@ -105,9 +113,7 @@ func (m *OTPMAC) WritebackLine(now uint64, a Access) uint64 {
 	macDone := m.macUnit.Issue(now)
 	if !covered {
 		m.macUpdates++
-		free := m.wbuf.Insert(now, macDone, func(start uint64) uint64 {
-			return m.bus.Write(start, mem.SrcMACUpdate)
-		})
+		free := m.wbuf.Insert(now, macDone, m.drainMACUpdate)
 		cpuFree = max64(cpuFree, free)
 	}
 	return cpuFree

@@ -28,12 +28,13 @@ import (
 type OTPPre struct {
 	*OTP
 
-	// padFor[lineVA] is the sequence number whose pad is precomputed and
-	// buffered for that line; absence means no prediction.
-	padFor map[uint64]uint16
+	// padFor holds, per line VA, the sequence number whose pad is
+	// precomputed and buffered for that line; absence means no prediction.
+	padFor *seqTable
 	// instrPad marks instruction lines whose (constant-seed) pad has been
-	// generated once and retained.
-	instrPad map[uint64]bool
+	// generated once and retained (presence-only use of the same chunked
+	// table that backs padFor).
+	instrPad *seqTable
 
 	padHits      uint64
 	padMisses    uint64
@@ -45,8 +46,8 @@ type OTPPre struct {
 func NewOTPPre(otp *OTP) *OTPPre {
 	return &OTPPre{
 		OTP:      otp,
-		padFor:   make(map[uint64]uint16),
-		instrPad: make(map[uint64]bool),
+		padFor:   newSeqTable(otp.snc.Config().LineBytes),
+		instrPad: newSeqTable(otp.snc.Config().LineBytes),
 	}
 }
 
@@ -58,7 +59,7 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 	if a.Instr {
 		p.instrReads++
 		key := p.tagged(a.PA)
-		if p.instrPad[key] {
+		if _, ok := p.instrPad.lookup(key); ok {
 			// Constant-seed pad already buffered: only the XOR remains.
 			p.padHits++
 			arrival := p.bus.Read(now, mem.SrcLineFill)
@@ -66,7 +67,7 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 		}
 		// Cold instruction line: generate and retain the pad.
 		p.padMisses++
-		p.instrPad[key] = true
+		p.instrPad.set(key, 1)
 		pad := p.crypto.Issue(now)
 		arrival := p.bus.Read(now, mem.SrcLineFill)
 		if pad > arrival {
@@ -79,7 +80,7 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 	if hit {
 		p.queryHits++
 		arrival := p.bus.Read(now, mem.SrcLineFill)
-		if want, ok := p.padFor[va]; ok && want == seq {
+		if want, ok := p.padFor.lookup(va); ok && want == seq {
 			// Predicted pad is buffered: the read is ready at arrival+XOR
 			// no matter the crypto latency.
 			p.padHits++
@@ -87,7 +88,7 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 		}
 		// No (or stale) prediction: generate the pad now, retain it.
 		p.padMisses++
-		p.padFor[va] = seq
+		p.padFor.set(va, seq)
 		pad := p.crypto.Issue(now)
 		if pad > arrival {
 			p.hiddenCycles += pad - arrival
@@ -102,14 +103,14 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 	seqArrival := p.bus.Read(now, mem.SrcSeqNumFetch)
 	p.seqFetches++
 	seqPlain := p.crypto.Issue(seqArrival) // decrypt the stored seq number
-	trueSeq := p.seqMem[va]
+	trueSeq := p.seqMem.get(va)
 	p.installFetched(now, va)
-	if want, ok := p.padFor[va]; ok && want == trueSeq {
+	if want, ok := p.padFor.lookup(va); ok && want == trueSeq {
 		p.padHits++
 		return max64(arrival, seqPlain) + 1
 	}
 	p.padMisses++
-	p.padFor[va] = trueSeq
+	p.padFor.set(va, trueSeq)
 	pad := p.crypto.Issue(seqPlain) // generate (and retain) the pad
 	if pad > max64(arrival, seqPlain) {
 		p.hiddenCycles += pad - max64(arrival, seqPlain)
@@ -125,11 +126,11 @@ func (p *OTPPre) WritebackLine(now uint64, a Access) uint64 {
 	if !a.Instr {
 		va := p.tagged(a.VA)
 		if seq, ok := p.snc.Peek(va); ok {
-			p.padFor[va] = seq
+			p.padFor.set(va, seq)
 		} else {
 			// Uncovered writeback (entry not resident): any buffered pad
 			// is stale now.
-			delete(p.padFor, va)
+			p.padFor.del(va)
 		}
 	}
 	return cpuFree

@@ -114,11 +114,19 @@ func ParseSwitchPolicy(s string) (SwitchPolicy, error) {
 type Baseline struct {
 	bus  *mem.Bus
 	wbuf *mem.WriteBuffer
+
+	// drainWriteback is bound once at construction so the steady-state
+	// writeback path passes a preallocated closure to the write buffer.
+	drainWriteback func(uint64) uint64
 }
 
 // NewBaseline builds the insecure baseline over the given memory system.
 func NewBaseline(bus *mem.Bus, wbuf *mem.WriteBuffer) *Baseline {
-	return &Baseline{bus: bus, wbuf: wbuf}
+	b := &Baseline{bus: bus, wbuf: wbuf}
+	b.drainWriteback = func(start uint64) uint64 {
+		return b.bus.Write(start, mem.SrcWriteback)
+	}
+	return b
 }
 
 // Name implements Scheme.
@@ -131,9 +139,7 @@ func (b *Baseline) ReadLine(now uint64, a Access) uint64 {
 
 // WritebackLine implements Scheme: queue in the write buffer.
 func (b *Baseline) WritebackLine(now uint64, a Access) uint64 {
-	return b.wbuf.Insert(now, now, func(start uint64) uint64 {
-		return b.bus.Write(start, mem.SrcWriteback)
-	})
+	return b.wbuf.Insert(now, now, b.drainWriteback)
 }
 
 // Stats implements Scheme.
@@ -149,6 +155,8 @@ type XOM struct {
 	wbuf   *mem.WriteBuffer
 	crypto *engine.Engine
 
+	drainWriteback func(uint64) uint64
+
 	reads      uint64
 	writebacks uint64
 }
@@ -156,7 +164,11 @@ type XOM struct {
 // NewXOM builds the XOM baseline over the given memory system and crypto
 // unit.
 func NewXOM(bus *mem.Bus, wbuf *mem.WriteBuffer, crypto *engine.Engine) *XOM {
-	return &XOM{bus: bus, wbuf: wbuf, crypto: crypto}
+	x := &XOM{bus: bus, wbuf: wbuf, crypto: crypto}
+	x.drainWriteback = func(start uint64) uint64 {
+		return x.bus.Write(start, mem.SrcWriteback)
+	}
+	return x
 }
 
 // Name implements Scheme.
@@ -175,9 +187,7 @@ func (x *XOM) ReadLine(now uint64, a Access) uint64 {
 func (x *XOM) WritebackLine(now uint64, a Access) uint64 {
 	x.writebacks++
 	ready := x.crypto.Issue(now)
-	return x.wbuf.Insert(now, ready, func(start uint64) uint64 {
-		return x.bus.Write(start, mem.SrcWriteback)
-	})
+	return x.wbuf.Insert(now, ready, x.drainWriteback)
 }
 
 // Stats implements Scheme.
@@ -209,11 +219,15 @@ type OTP struct {
 	pid          int
 	pidBits      int
 
+	// Drain closures bound once at construction (see Baseline).
+	drainWriteback func(uint64) uint64
+	drainSpill     func(uint64) uint64
+
 	// seqMem is the architectural sequence-number table in (encrypted)
 	// memory used by the LRU policy for spilled entries. It is the
 	// functional mirror of what the timing model charges traffic for,
 	// keyed by process-tagged virtual line address.
-	seqMem map[uint64]uint16
+	seqMem *seqTable
 
 	// Counters.
 	instrReads   uint64
@@ -244,15 +258,22 @@ func (o *OTP) tagged(va uint64) uint64 {
 // NewOTP builds the one-time-pad scheme. The SNC's configured policy
 // selects LRU vs no-replacement behaviour.
 func NewOTP(bus *mem.Bus, wbuf *mem.WriteBuffer, crypto *engine.Engine, s *snc.SNC) *OTP {
-	return &OTP{
+	o := &OTP{
 		bus:     bus,
 		wbuf:    wbuf,
 		crypto:  crypto,
 		snc:     s,
 		policy:  s.Config().Policy,
 		pidBits: 16, // registry construction narrows this for switch=pid
-		seqMem:  make(map[uint64]uint16),
+		seqMem:  newSeqTable(s.Config().LineBytes),
 	}
+	o.drainWriteback = func(start uint64) uint64 {
+		return o.bus.Write(start, mem.SrcWriteback)
+	}
+	o.drainSpill = func(start uint64) uint64 {
+		return o.bus.Write(start, mem.SrcSeqNumSpill)
+	}
+	return o
 }
 
 // Name implements Scheme, matching the paper's figure labels.
@@ -301,7 +322,7 @@ func (o *OTP) readLine(now uint64, a Access) (ready, arrival uint64) {
 		o.installFetched(now, va)
 		return max64(arrival, pad) + 1, arrival
 	default: // NoReplacement
-		if seq, ok := o.seqMem[va]; ok {
+		if seq, ok := o.seqMem.lookup(va); ok {
 			// The line was covered before a context-switch flush spilled
 			// its number: its data is still pad-encrypted in memory, so the
 			// read takes the LRU-style path — fetch + decrypt the spilled
@@ -313,7 +334,7 @@ func (o *OTP) readLine(now uint64, a Access) (ready, arrival uint64) {
 			seqPlain := o.crypto.Issue(seqArrival)
 			pad := o.crypto.Issue(seqPlain)
 			if o.snc.TryInstall(va, seq) {
-				delete(o.seqMem, va)
+				o.seqMem.del(va)
 			}
 			return max64(arrival, pad) + 1, arrival
 		}
@@ -329,7 +350,7 @@ func (o *OTP) readLine(now uint64, a Access) (ready, arrival uint64) {
 // into the SNC, spilling the LRU victim back to memory (off the critical
 // path, through the write buffer).
 func (o *OTP) installFetched(now uint64, lineVA uint64) {
-	seq := o.seqMem[lineVA]
+	seq := o.seqMem.get(lineVA)
 	victimVA, victimSeq, evicted := o.snc.Install(lineVA, seq)
 	if evicted {
 		o.spill(now, victimVA, victimSeq)
@@ -338,14 +359,12 @@ func (o *OTP) installFetched(now uint64, lineVA uint64) {
 
 func (o *OTP) spill(now uint64, victimVA uint64, victimSeq uint16) {
 	o.spills++
-	o.seqMem[victimVA] = victimSeq
+	o.seqMem.set(victimVA, victimSeq)
 	// The spilled number is encrypted directly (Section 4.1: "we choose to
 	// use encryption on the sequence numbers directly, just as the XOM
 	// solution") and drains through the write buffer.
 	ready := o.crypto.Issue(now)
-	o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-		return o.bus.Write(start, mem.SrcSeqNumSpill)
-	})
+	o.wbuf.Insert(now, ready, o.drainSpill)
 }
 
 // WritebackLine implements Scheme.
@@ -365,16 +384,12 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 			// instead of the pad XOR.
 			o.reencrypts++
 			ready := o.crypto.Issue(now)
-			return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-				return o.bus.Write(start, mem.SrcWriteback)
-			})
+			return o.wbuf.Insert(now, ready, o.drainWriteback)
 		}
 		// Pad generation and XOR happen while the line sits in the write
 		// buffer; one extra cycle for the XOR vs XOM (Section 4.2).
 		pad := o.crypto.Issue(now)
-		return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
-			return o.bus.Write(start, mem.SrcWriteback)
-		})
+		return o.wbuf.Insert(now, pad+1, o.drainWriteback)
 	}
 	o.updateMisses++
 	switch o.policy {
@@ -385,8 +400,8 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 		seqArrival := o.bus.Read(now, mem.SrcSeqNumFetch)
 		o.seqFetches++
 		seqPlain := o.crypto.Issue(seqArrival)
-		wrapped := o.seqMem[va] == math.MaxUint16
-		o.seqMem[va]++ // increment the architectural copy
+		wrapped := o.seqMem.get(va) == math.MaxUint16
+		o.seqMem.inc(va) // increment the architectural copy
 		o.installFetched(now, va)
 		if wrapped {
 			// Same pad-space exhaustion as the hit path, caught on the
@@ -395,16 +410,12 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 			o.snc.SeqOverflows++
 			o.reencrypts++
 			ready := o.crypto.Issue(seqPlain)
-			return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-				return o.bus.Write(start, mem.SrcWriteback)
-			})
+			return o.wbuf.Insert(now, ready, o.drainWriteback)
 		}
 		pad := o.crypto.Issue(seqPlain)
-		return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
-			return o.bus.Write(start, mem.SrcWriteback)
-		})
+		return o.wbuf.Insert(now, pad+1, o.drainWriteback)
 	default: // NoReplacement
-		if prev, ok := o.seqMem[va]; ok {
+		if prev, ok := o.seqMem.lookup(va); ok {
 			// Covered before a context-switch flush: the pad space for
 			// this line continues from the spilled number — restarting at
 			// 1 would reuse pads. Fetch + decrypt the stored number (write
@@ -415,37 +426,29 @@ func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 			wrapped := prev == math.MaxUint16
 			next := prev + 1
 			if o.snc.TryInstall(va, next) {
-				delete(o.seqMem, va)
+				o.seqMem.del(va)
 			} else {
-				o.seqMem[va] = next
+				o.seqMem.set(va, next)
 			}
 			if wrapped {
 				o.snc.SeqOverflows++
 				o.reencrypts++
 				ready := o.crypto.Issue(seqPlain)
-				return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-					return o.bus.Write(start, mem.SrcWriteback)
-				})
+				return o.wbuf.Insert(now, ready, o.drainWriteback)
 			}
 			pad := o.crypto.Issue(seqPlain)
-			return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
-				return o.bus.Write(start, mem.SrcWriteback)
-			})
+			return o.wbuf.Insert(now, pad+1, o.drainWriteback)
 		}
 		if o.snc.TryInstall(va, 1) {
 			// Vacancy: the line joins the one-time-pad world with a fresh
 			// sequence number.
 			pad := o.crypto.Issue(now)
-			return o.wbuf.Insert(now, pad+1, func(start uint64) uint64 {
-				return o.bus.Write(start, mem.SrcWriteback)
-			})
+			return o.wbuf.Insert(now, pad+1, o.drainWriteback)
 		}
 		// Full: direct encryption, exactly like XOM.
 		o.directWrites++
 		ready := o.crypto.Issue(now)
-		return o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-			return o.bus.Write(start, mem.SrcWriteback)
-		})
+		return o.wbuf.Insert(now, ready, o.drainWriteback)
 	}
 }
 
@@ -484,12 +487,10 @@ func (o *OTP) ContextSwitch(now uint64, next int) (done uint64) {
 	if flush {
 		for _, pair := range o.snc.FlushAll() {
 			lineVA, seq := pair[0], uint16(pair[1])
-			o.seqMem[lineVA] = seq
+			o.seqMem.set(lineVA, seq)
 			o.spills++
 			ready := o.crypto.Issue(now)
-			d := o.wbuf.Insert(now, ready, func(start uint64) uint64 {
-				return o.bus.Write(start, mem.SrcSeqNumSpill)
-			})
+			d := o.wbuf.Insert(now, ready, o.drainSpill)
 			if d > done {
 				done = d
 			}

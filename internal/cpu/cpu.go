@@ -64,8 +64,11 @@ type CPU struct {
 	// retired counts instructions retired so far (the program order
 	// position of the next instruction).
 	retired uint64
-	// misses in flight, oldest first.
-	misses []inflight
+	// misses in flight, oldest first, in a fixed ring buffer: occupancy is
+	// bounded by the MSHR count, so steady-state stepping never allocates.
+	misses   []inflight
+	missHead int
+	missN    int
 	// lastLoadDone is the completion time of the most recent load, for
 	// dependent chains.
 	lastLoadDone uint64
@@ -84,7 +87,35 @@ func New(cfg Config) *CPU {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &CPU{cfg: cfg}
+	return &CPU{cfg: cfg, misses: make([]inflight, cfg.MSHRs)}
+}
+
+// missAt returns the in-flight miss at ring position i (0 = oldest).
+func (c *CPU) missAt(i int) inflight {
+	j := c.missHead + i
+	if j >= len(c.misses) {
+		j -= len(c.misses)
+	}
+	return c.misses[j]
+}
+
+// popMiss drops the oldest in-flight miss.
+func (c *CPU) popMiss() {
+	c.missHead++
+	if c.missHead == len(c.misses) {
+		c.missHead = 0
+	}
+	c.missN--
+}
+
+// pushMiss records a new in-flight miss (the caller has ensured a free MSHR).
+func (c *CPU) pushMiss(m inflight) {
+	j := c.missHead + c.missN
+	if j >= len(c.misses) {
+		j -= len(c.misses)
+	}
+	c.misses[j] = m
+	c.missN++
 }
 
 // Config returns the core configuration.
@@ -117,12 +148,12 @@ func (c *CPU) stallTo(t uint64) {
 // so wait for that miss.
 func (c *CPU) retireWindow(n uint64) {
 	for n > 0 {
-		if len(c.misses) == 0 {
+		if c.missN == 0 {
 			c.retired += n
 			c.advanceIssue(n)
 			return
 		}
-		oldest := c.misses[0]
+		oldest := c.missAt(0)
 		limit := oldest.seq + uint64(c.cfg.ROB)
 		if c.retired+n <= limit {
 			c.retired += n
@@ -140,7 +171,7 @@ func (c *CPU) retireWindow(n uint64) {
 			c.ROBStallCycles += oldest.complete - c.clock
 			c.stallTo(oldest.complete)
 		}
-		c.misses = c.misses[1:]
+		c.popMiss()
 		n -= headroom
 	}
 }
@@ -179,16 +210,16 @@ func (c *CPU) LoadMiss(depends bool, fill func(issue uint64) (ready uint64)) {
 		c.stallTo(c.lastLoadDone)
 	}
 	// MSHR pressure: wait for the oldest miss if all entries are busy.
-	if len(c.misses) >= c.cfg.MSHRs {
-		oldest := c.misses[0]
+	if c.missN >= c.cfg.MSHRs {
+		oldest := c.missAt(0)
 		if oldest.complete > c.clock {
 			c.MSHRStallCycles += oldest.complete - c.clock
 			c.stallTo(oldest.complete)
 		}
-		c.misses = c.misses[1:]
+		c.popMiss()
 	}
 	ready := fill(c.clock)
-	c.misses = append(c.misses, inflight{complete: ready, seq: c.retired})
+	c.pushMiss(inflight{complete: ready, seq: c.retired})
 	c.lastLoadDone = ready
 }
 
@@ -197,16 +228,16 @@ func (c *CPU) LoadMiss(depends bool, fill func(issue uint64) (ready uint64)) {
 // retires through the store buffer without exposing latency.
 func (c *CPU) StoreMiss(fill func(issue uint64) (ready uint64)) {
 	c.retireWindow(1)
-	if len(c.misses) >= c.cfg.MSHRs {
-		oldest := c.misses[0]
+	if c.missN >= c.cfg.MSHRs {
+		oldest := c.missAt(0)
 		if oldest.complete > c.clock {
 			c.MSHRStallCycles += oldest.complete - c.clock
 			c.stallTo(oldest.complete)
 		}
-		c.misses = c.misses[1:]
+		c.popMiss()
 	}
 	ready := fill(c.clock)
-	c.misses = append(c.misses, inflight{complete: ready, seq: c.retired})
+	c.pushMiss(inflight{complete: ready, seq: c.retired})
 }
 
 // StoreHit models a store that hits on chip: retires through the store
@@ -232,13 +263,13 @@ func (c *CPU) WaitUntil(t uint64) {
 
 // Drain waits for all outstanding misses — call at the end of a run.
 func (c *CPU) Drain() {
-	for _, m := range c.misses {
-		if m.complete > c.clock {
+	for i := 0; i < c.missN; i++ {
+		if m := c.missAt(i); m.complete > c.clock {
 			c.stallTo(m.complete)
 		}
 	}
-	c.misses = c.misses[:0]
+	c.missHead, c.missN = 0, 0
 }
 
 // OutstandingMisses returns the number of misses in flight (diagnostics).
-func (c *CPU) OutstandingMisses() int { return len(c.misses) }
+func (c *CPU) OutstandingMisses() int { return c.missN }

@@ -119,6 +119,11 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[runKey]*entry
 	sims  atomic.Int64
+
+	// traces memoizes materialized benchmark record sequences (see
+	// Runner.trace); independent latch domain from the result memo.
+	traceMu sync.Mutex
+	traces  map[string]*traceEntry
 }
 
 // NewRunner creates a Runner at the given workload scale.

@@ -11,6 +11,11 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden figure files")
 
+// goldenDir lets CI's golden-drift guard regenerate the figures into a
+// scratch directory (`-update -goldendir /tmp/x`) and diff against the
+// checked-in testdata, instead of overwriting it.
+var goldenDir = flag.String("goldendir", "testdata", "directory golden figure files are read from / written to")
+
 // goldenScale is the fixed workload scale the goldens are generated at.
 // Changing it (or paperdata.go, or the simulator) regenerates different
 // tables: run `go test ./internal/experiments -run Golden -update`.
@@ -30,7 +35,7 @@ func TestGoldenFigures(t *testing.T) {
 	}
 	for i, fr := range frs {
 		got := fr.Render()
-		path := filepath.Join("testdata", names[i]+".golden")
+		path := filepath.Join(*goldenDir, names[i]+".golden")
 		if *update {
 			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 				t.Fatal(err)

@@ -57,8 +57,10 @@ func (r *Runner) result(k runKey) (sim.Result, error) {
 	return e.res, e.err
 }
 
-// simulate runs one simulation from scratch: fresh profile, fresh stream,
-// fresh system.
+// simulate runs one simulation: fresh system, shared materialized trace.
+// Every configuration of one benchmark replays the same record sequence
+// (identical to what a fresh generator would emit), so trace generation
+// costs once per benchmark instead of once per simulation.
 func (r *Runner) simulate(k runKey) (sim.Result, error) {
 	prof, ok := workload.ByName(k.bench)
 	if !ok {
@@ -68,8 +70,44 @@ func (r *Runner) simulate(k runKey) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
+	recs, err := r.trace(prof)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %w", err)
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	r.sims.Add(1)
-	return sim.RunProfile(cfg, prof, r.Scale)
+	return sys.Run(workload.Replay(recs), prof.WarmupRefs()), nil
+}
+
+// traceEntry is one memoized benchmark trace, latched like the result memo
+// so concurrent workers materialize each trace exactly once.
+type traceEntry struct {
+	done chan struct{}
+	recs []workload.Record
+	err  error
+}
+
+// trace returns the materialized record sequence for prof at the Runner's
+// scale, generating it on first use.
+func (r *Runner) trace(prof workload.Profile) ([]workload.Record, error) {
+	r.traceMu.Lock()
+	if r.traces == nil {
+		r.traces = make(map[string]*traceEntry)
+	}
+	if e, ok := r.traces[prof.Name]; ok {
+		r.traceMu.Unlock()
+		<-e.done
+		return e.recs, e.err
+	}
+	e := &traceEntry{done: make(chan struct{})}
+	r.traces[prof.Name] = e
+	r.traceMu.Unlock()
+	defer close(e.done)
+	e.recs, e.err = workload.Materialize(prof, r.Scale)
+	return e.recs, e.err
 }
 
 // jobs resolves the effective worker count.

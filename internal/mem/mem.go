@@ -202,17 +202,23 @@ func NewWriteBuffer(depth int) *WriteBuffer {
 // waits for the oldest entry to drain.
 func (w *WriteBuffer) Insert(now, ready uint64, drain func(uint64) uint64) (cpuFree uint64) {
 	w.Inserted++
-	// Retire entries that have drained by now.
+	// Retire entries that have drained by now. Compact in place rather than
+	// re-slicing so the backing array's capacity is stable and the sorted
+	// insert below stops allocating once the buffer has warmed up.
 	i := 0
 	for i < len(w.pending) && w.pending[i] <= now {
 		i++
 	}
-	w.pending = w.pending[i:]
+	if i > 0 {
+		n := copy(w.pending, w.pending[i:])
+		w.pending = w.pending[:n]
+	}
 	cpuFree = now
 	if len(w.pending) >= w.depth {
 		w.FullStalls++
 		cpuFree = w.pending[0]
-		w.pending = w.pending[1:]
+		n := copy(w.pending, w.pending[1:])
+		w.pending = w.pending[:n]
 	}
 	done := drain(maxU64(cpuFree, ready))
 	// Insert keeping sorted order (drains can complete out of order when
@@ -245,27 +251,75 @@ func maxU64(a, b uint64) uint64 {
 	return b
 }
 
+// Memory page geometry: 4KB pages gathered into directory chunks of 1024
+// pages, so one chunk spans 4MB of address space.
+const (
+	pageBits  = 12
+	chunkBits = 10
+	chunkMask = (1 << chunkBits) - 1
+)
+
+// memChunk is the second level of the page directory: a dense array of
+// page frames covering one aligned 4MB span.
+type memChunk struct {
+	pages [1 << chunkBits][]byte
+}
+
 // Memory is the functional byte-accurate physical memory image, backed by a
-// sparse page map. The secure schemes store real ciphertext here so that
+// two-level page directory: a sparse chunk map on top (touched only when an
+// access crosses into a new 4MB span) and dense page arrays below, fronted
+// by a last-page cache so the common same-page access is two compares and
+// an array load. The secure schemes store real ciphertext here so that
 // tampering experiments operate on actual bytes.
 type Memory struct {
-	pages    map[uint64][]byte
-	pageBits uint
+	chunks map[uint64]*memChunk
+
+	// Last-chunk and last-page caches. lastPage == nil / lastChunk == nil
+	// mean "no cached entry" (never a valid cached value, since pages and
+	// chunks are non-nil once allocated).
+	lastCN    uint64
+	lastChunk *memChunk
+	lastPN    uint64
+	lastPage  []byte
+
+	allocated int
 }
 
 // NewMemory creates an empty sparse memory with 4KB pages.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64][]byte), pageBits: 12}
+	return &Memory{chunks: make(map[uint64]*memChunk)}
 }
 
 func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
-	pn := addr >> m.pageBits
-	p, ok := m.pages[pn]
-	if !ok && create {
-		p = make([]byte, 1<<m.pageBits)
-		m.pages[pn] = p
+	off := addr & ((1 << pageBits) - 1)
+	pn := addr >> pageBits
+	if pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage, off
 	}
-	return p, addr & ((1 << m.pageBits) - 1)
+	cn := pn >> chunkBits
+	ch := m.lastChunk
+	if ch == nil || cn != m.lastCN {
+		ch = m.chunks[cn]
+		if ch == nil {
+			if !create {
+				return nil, off
+			}
+			ch = new(memChunk)
+			m.chunks[cn] = ch
+		}
+		m.lastCN, m.lastChunk = cn, ch
+	}
+	p := ch.pages[pn&chunkMask]
+	if p == nil {
+		if !create {
+			return nil, off
+		}
+		p = make([]byte, 1<<pageBits)
+		ch.pages[pn&chunkMask] = p
+		m.allocated++
+	}
+	m.lastPN, m.lastPage = pn, p
+	return p, off
 }
 
 // Read copies len(dst) bytes starting at addr into dst. Unwritten memory
@@ -273,7 +327,7 @@ func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
 func (m *Memory) Read(addr uint64, dst []byte) {
 	for len(dst) > 0 {
 		p, off := m.page(addr, false)
-		n := int(uint64(1)<<m.pageBits - off)
+		n := int(uint64(1)<<pageBits - off)
 		if n > len(dst) {
 			n = len(dst)
 		}
@@ -328,4 +382,4 @@ func (m *Memory) WriteU32(addr uint64, v uint32) {
 }
 
 // PagesAllocated returns the number of backing pages (test/diagnostic aid).
-func (m *Memory) PagesAllocated() int { return len(m.pages) }
+func (m *Memory) PagesAllocated() int { return m.allocated }

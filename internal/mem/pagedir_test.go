@@ -1,0 +1,77 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPageDirectoryMatchesMapModel drives the two-level page-directory
+// Memory and a plain map[addr]byte model through the same random write/read
+// sequence and demands byte-identical contents — including reads of
+// never-written (zero) memory, writes spanning page and chunk boundaries,
+// and far-flung addresses that land in different directory chunks.
+func TestPageDirectoryMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMemory()
+	model := make(map[uint64]byte)
+
+	// Address bases mix dense locality (one chunk), chunk-boundary
+	// straddles, and sparse high addresses (distinct chunks).
+	bases := []uint64{
+		0x0,
+		0x1000,
+		1<<22 - 17, // straddles a 4MB chunk boundary
+		3 << 22,
+		0x7FFF_F000,
+		0xDEAD_0000_0000,
+		1<<52 + 12345,
+	}
+	for op := 0; op < 20000; op++ {
+		addr := bases[rng.Intn(len(bases))] + uint64(rng.Intn(1<<14))
+		n := 1 + rng.Intn(300) // spans page boundaries regularly
+		if rng.Intn(2) == 0 {
+			buf := make([]byte, n)
+			rng.Read(buf)
+			m.Write(addr, buf)
+			for i, b := range buf {
+				model[addr+uint64(i)] = b
+			}
+		} else {
+			got := make([]byte, n)
+			m.Read(addr, got)
+			for i := range got {
+				if want := model[addr+uint64(i)]; got[i] != want {
+					t.Fatalf("op %d: Read(%#x)[%d] = %#x, want %#x", op, addr, i, got[i], want)
+				}
+			}
+		}
+	}
+
+	// The directory must have materialized exactly the written pages.
+	pages := make(map[uint64]bool)
+	for a := range model {
+		pages[a>>pageBits] = true
+	}
+	if got := m.PagesAllocated(); got != len(pages) {
+		t.Errorf("PagesAllocated = %d, want %d", got, len(pages))
+	}
+}
+
+// TestPageDirectoryWordHelpers locks the typed accessors across chunk
+// boundaries and the last-page cache (read-after-write on alternating
+// far-apart pages).
+func TestPageDirectoryWordHelpers(t *testing.T) {
+	m := NewMemory()
+	a := uint64(1<<22 - 4) // U64 straddles the chunk boundary
+	b := uint64(5 << 22)
+	m.WriteU64(a, 0x1122334455667788)
+	m.WriteU32(b, 0xCAFEBABE)
+	for i := 0; i < 3; i++ { // alternate to exercise cache replacement
+		if got := m.ReadU64(a); got != 0x1122334455667788 {
+			t.Fatalf("ReadU64 = %#x", got)
+		}
+		if got := m.ReadU32(b); got != 0xCAFEBABE {
+			t.Fatalf("ReadU32 = %#x", got)
+		}
+	}
+}

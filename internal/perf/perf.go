@@ -1,0 +1,230 @@
+// Package perf is the repository's performance harness: it runs a fixed,
+// reduced-scale slice of the paper's figure sweep plus targeted
+// single-simulation probes, measures wall-clock, simulation throughput,
+// instruction throughput and allocations, and emits a machine-readable
+// snapshot (benchmark name → {ns/op, allocs/op, sims/sec}).
+//
+// The snapshot has two consumers:
+//
+//   - developers, via `go test ./internal/perf -run TestPerfSnapshot
+//     -perf.out=BENCH.json` or `secsim -perf`, to record where the
+//     simulator's speed stands;
+//   - CI, which collects one snapshot on the merge-base and one on the PR
+//     head and fails the build when ns/op regresses beyond a threshold or
+//     allocs/op grows at all (Compare).
+//
+// Workloads, scales and iteration counts are fixed constants so that two
+// snapshots of the same code differ only by machine noise; ns/op is taken
+// as the best of Rounds runs to damp that noise further.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"secureproc/internal/experiments"
+	"secureproc/internal/sim"
+	"secureproc/internal/workload"
+)
+
+// Metric is one benchmark's measurement.
+type Metric struct {
+	// NsPerOp is the best-of-Rounds wall-clock for one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocation count of one operation (measured
+	// once, after warmup: allocation counts are deterministic).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SimsPerSec is complete simulations per second during the best round
+	// (zero for benchmarks that aren't simulation-granular).
+	SimsPerSec float64 `json:"sims_per_sec"`
+	// InstrsPerSec is simulated instructions retired per wall-clock second
+	// during the best round (zero where not meaningful).
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+}
+
+// Snapshot maps benchmark name → measurement.
+type Snapshot map[string]Metric
+
+// Rounds is how many times each timed operation runs; NsPerOp keeps the
+// fastest, which is the standard way to strip scheduler noise from a
+// deterministic workload.
+const Rounds = 3
+
+// sweepScale is the workload scale of the figure-sweep benchmark — the
+// same reduced scale the golden figures are generated at.
+const sweepScale = 0.05
+
+// probeScale is the workload scale of the single-simulation probes.
+const probeScale = 0.1
+
+// Collect runs the full harness and returns the snapshot.
+func Collect() Snapshot {
+	s := make(Snapshot)
+	s["figure-sweep"] = measureSweep()
+	for _, p := range []struct {
+		name   string
+		scheme sim.SchemeRef
+		bench  string
+	}{
+		{"sim-baseline-mcf", sim.SchemeBaseline, "mcf"},
+		{"sim-snc-lru-mcf", sim.SchemeOTPLRU, "mcf"},
+		{"sim-snc-lru-gcc", sim.SchemeOTPLRU, "gcc"},
+		{"sim-xom-art", sim.SchemeXOM, "art"},
+	} {
+		s[p.name] = measureSim(p.scheme, p.bench)
+	}
+	return s
+}
+
+// measureOp times op() Rounds times (after one untimed warmup for the
+// allocation count) and fills the shared Metric fields. op reports how many
+// simulations and simulated instructions it performed.
+func measureOp(op func() (sims int, instrs uint64)) Metric {
+	var m Metric
+	var ms0, ms1 runtime.MemStats
+
+	op() // untimed warmup: one-time lazy initialization must not count
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	sims, instrs := op()
+	runtime.ReadMemStats(&ms1)
+	m.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
+
+	best := time.Duration(0)
+	for r := 0; r < Rounds; r++ {
+		start := time.Now()
+		sims, instrs = op()
+		el := time.Since(start)
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	m.NsPerOp = float64(best.Nanoseconds())
+	sec := best.Seconds()
+	if sec > 0 {
+		m.SimsPerSec = float64(sims) / sec
+		m.InstrsPerSec = float64(instrs) / sec
+	}
+	return m
+}
+
+// measureSweep regenerates every figure (a fresh Runner per op, so nothing
+// is answered from a previous round's memo) at the golden scale.
+func measureSweep() Metric {
+	return measureOp(func() (int, uint64) {
+		r := experiments.NewRunner(sweepScale)
+		r.Jobs = 1 // sequential: comparable across machines with any core count
+		r.All()
+		return int(r.Simulations()), 0
+	})
+}
+
+// measureSim runs one benchmark/scheme pair end to end.
+func measureSim(scheme sim.SchemeRef, bench string) Metric {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		panic("perf: unknown benchmark " + bench)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = scheme
+	return measureOp(func() (int, uint64) {
+		res, err := sim.RunProfile(cfg, prof, probeScale)
+		if err != nil {
+			panic(err)
+		}
+		return 1, res.Instructions
+	})
+}
+
+// WriteFile stores the snapshot as deterministic, indented JSON.
+func (s Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a snapshot written by WriteFile.
+func Load(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Names returns the snapshot's benchmark names, sorted.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the snapshot as a fixed-width table.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("%-18s %14s %12s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "sims/sec", "instrs/sec")
+	for _, name := range s.Names() {
+		m := s[name]
+		out += fmt.Sprintf("%-18s %14.0f %12.0f %12.1f %14.0f\n",
+			name, m.NsPerOp, m.AllocsPerOp, m.SimsPerSec, m.InstrsPerSec)
+	}
+	return out
+}
+
+// Regression is one benchmark metric that got worse than the gate allows.
+type Regression struct {
+	Name  string  // benchmark
+	Field string  // "ns/op" or "allocs/op"
+	Base  float64 // merge-base value
+	Cur   float64 // PR value
+	Pct   float64 // relative change in percent
+}
+
+// String renders the regression for CI logs.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (%+.1f%%)", r.Name, r.Field, r.Base, r.Cur, r.Pct)
+}
+
+// Compare gates cur against base: ns/op may grow by at most nsTol
+// (fractional, e.g. 0.10 for ±10%), allocs/op may not grow at all.
+// Benchmarks present only on one side are skipped — they have no
+// comparable baseline. The result is sorted by benchmark name.
+func Compare(base, cur Snapshot, nsTol float64) []Regression {
+	var regs []Regression
+	for _, name := range cur.Names() {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		c := cur[name]
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			regs = append(regs, Regression{
+				Name: name, Field: "ns/op", Base: b.NsPerOp, Cur: c.NsPerOp,
+				Pct: 100 * (c.NsPerOp/b.NsPerOp - 1),
+			})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			pct := 0.0
+			if b.AllocsPerOp > 0 {
+				pct = 100 * (c.AllocsPerOp/b.AllocsPerOp - 1)
+			}
+			regs = append(regs, Regression{
+				Name: name, Field: "allocs/op", Base: b.AllocsPerOp, Cur: c.AllocsPerOp, Pct: pct,
+			})
+		}
+	}
+	return regs
+}

@@ -194,6 +194,20 @@ type System struct {
 	crypto *engine.Engine
 	scheme core.Scheme
 
+	// fillAccess and fillFn implement the scheme-read callback the CPU
+	// model takes on every miss. The closure is bound once at construction
+	// and reads its access from fillAccess, so the per-miss path allocates
+	// nothing; this is safe because the CPU invokes the callback
+	// synchronously, before the next access is staged.
+	fillAccess core.Access
+	fillFn     func(uint64) uint64
+
+	// Context-switch scratch, reused so steady-state switches don't
+	// allocate: the deduplicated dirty-victim list and the L2-line
+	// membership set behind it.
+	switchVictims [][2]uint64
+	switchSeen    map[uint64]struct{}
+
 	// Measurement snapshot taken at the warmup/measurement boundary.
 	cycles0, instr0                  uint64
 	robStall0, mshrStall0, depStall0 uint64
@@ -227,6 +241,10 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	s.scheme = scheme
+	s.fillFn = func(issue uint64) uint64 {
+		return s.scheme.ReadLine(issue, s.fillAccess)
+	}
+	s.switchSeen = make(map[uint64]struct{})
 	return s, nil
 }
 
@@ -243,12 +261,11 @@ func (s *System) handleL2Victim(res cache.Result) {
 	s.cpu.WaitUntil(cpuFree)
 }
 
-// l2FillFor returns a fill closure for a missing L2 line: it asks the
-// scheme when the line is ready and handles the victim writeback.
+// l2FillFor stages a and returns the prebound fill callback for a missing
+// L2 line: it asks the scheme when the line is ready.
 func (s *System) l2FillFor(a core.Access) func(uint64) uint64 {
-	return func(issue uint64) uint64 {
-		return s.scheme.ReadLine(issue, a)
-	}
+	s.fillAccess = a
+	return s.fillFn
 }
 
 // accessData walks a data reference through L1D and L2.
@@ -365,16 +382,16 @@ func (s *System) ContextSwitch(next int) SwitchCost {
 
 	// Invalidate the hierarchy. L1 lines are smaller than L2 lines; dirty
 	// state is written back at L2 granularity, deduplicated so a line dirty
-	// in both levels goes out once.
+	// in both levels goes out once. Victim list and membership set are
+	// reused scratch so repeated switches stop allocating.
 	s.l1i.InvalidateAll()
-	type victim struct{ pa, va uint64 }
-	var victims []victim
-	seen := make(map[uint64]bool)
+	victims := s.switchVictims[:0]
+	clear(s.switchSeen)
 	add := func(pa, va uint64) {
 		lpa := s.l2.LineAddr(pa)
-		if !seen[lpa] {
-			seen[lpa] = true
-			victims = append(victims, victim{lpa, s.l2.LineAddr(va)})
+		if _, ok := s.switchSeen[lpa]; !ok {
+			s.switchSeen[lpa] = struct{}{}
+			victims = append(victims, [2]uint64{lpa, s.l2.LineAddr(va)})
 		}
 	}
 	for _, d := range s.l1d.InvalidateAll() {
@@ -384,9 +401,10 @@ func (s *System) ContextSwitch(next int) SwitchCost {
 		add(d[0], d[1])
 	}
 	for _, v := range victims {
-		cpuFree := s.scheme.WritebackLine(s.cpu.Cycles(), core.Access{PA: v.pa, VA: v.va})
+		cpuFree := s.scheme.WritebackLine(s.cpu.Cycles(), core.Access{PA: v[0], VA: v[1]})
 		s.cpu.WaitUntil(cpuFree)
 	}
+	s.switchVictims = victims
 	cost.DirtyWritebacks = uint64(len(victims))
 
 	cost.SchemeDone = s.cpu.Cycles()

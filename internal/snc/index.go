@@ -1,0 +1,103 @@
+package snc
+
+import "math/bits"
+
+// tagIndex is an open-addressed linear-probe hash index from line tag to
+// entry slot. It replaces the per-set map[uint64]int the SNC used to carry:
+// a set holds at most `ways` entries, so the table is sized once at 2× the
+// way count (load factor ≤ 0.5) and never grows, lookups are two array
+// loads with no hashing allocation, and deletion uses backward-shift
+// compaction so probe chains never accumulate tombstones.
+type tagIndex struct {
+	keys  []uint64
+	slots []int32 // -1 = empty
+	mask  uint32
+	shift uint // 64 - log2(len(keys)), for the multiplicative hash
+}
+
+// fibMul is 2^64 / φ, the Fibonacci-hashing multiplier: it diffuses the
+// low-entropy line tags (sequential and strided walks) across the table.
+const fibMul = 0x9E3779B97F4A7C15
+
+// init sizes the table for up to capacity live entries and marks every
+// cell empty. Reusable: calling it again clears the index in place.
+func (t *tagIndex) init(capacity int) {
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
+	if len(t.slots) != size {
+		t.keys = make([]uint64, size)
+		t.slots = make([]int32, size)
+		t.mask = uint32(size - 1)
+		t.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+}
+
+func (t *tagIndex) home(tag uint64) uint32 {
+	return uint32((tag * fibMul) >> t.shift)
+}
+
+// find returns the entry slot for tag, or ok=false.
+func (t *tagIndex) find(tag uint64) (slot int32, ok bool) {
+	i := t.home(tag)
+	for {
+		s := t.slots[i]
+		if s < 0 {
+			return 0, false
+		}
+		if t.keys[i] == tag {
+			return s, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts or updates the slot for tag.
+func (t *tagIndex) put(tag uint64, slot int32) {
+	i := t.home(tag)
+	for {
+		s := t.slots[i]
+		if s < 0 || t.keys[i] == tag {
+			t.keys[i] = tag
+			t.slots[i] = slot
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// del removes tag, compacting the probe chain behind it (backward-shift
+// deletion) so later finds never walk dead cells.
+func (t *tagIndex) del(tag uint64) {
+	i := t.home(tag)
+	for {
+		if t.slots[i] < 0 {
+			return // not present
+		}
+		if t.keys[i] == tag {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	// Shift successors whose home position precedes the hole back into it.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if t.slots[j] < 0 {
+			break
+		}
+		h := t.home(t.keys[j])
+		// j is displaced past the hole iff the hole lies cyclically within
+		// [h, j); only then may the entry legally move back to i.
+		if (j-h)&t.mask >= (j-i)&t.mask {
+			t.keys[i] = t.keys[j]
+			t.slots[i] = t.slots[j]
+			i = j
+		}
+	}
+	t.slots[i] = -1
+}

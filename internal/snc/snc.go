@@ -133,28 +133,39 @@ func (c Config) CoverageBytes() int { return c.Entries() * c.LineBytes }
 type entry struct {
 	tag uint64
 	seq uint16
-	set int
 	// LRU list links within the set (indices into SNC.entries; -1 = none).
-	prev, next int
+	// int32 keeps the entry at 16 bytes — the largest SNC holds 64K
+	// entries, far inside the range.
+	prev, next int32
 }
 
-// set holds the per-set LRU list endpoints and a tag index.
+// set holds the per-set LRU list endpoints and a tag index. Vacant slots
+// are handed out by a bump allocator: slots are only freed en masse by
+// resetSet, so the next vacancy in [si*ways, (si+1)*ways) is always
+// si*ways+bump — no free list to build or maintain.
 type set struct {
-	head, tail int            // MRU..LRU (indices into SNC.entries; -1 = empty)
-	index      map[uint64]int // tag -> entry slot
-	free       []int          // vacant slots belonging to this set
+	head, tail int32 // MRU..LRU (indices into SNC.entries; -1 = empty)
+	index      tagIndex
+	base       int32 // first entry slot owned by this set (si*ways)
+	bump       int32 // slots [base, base+bump) are allocated
 }
 
-// SNC is the sequence number cache. Lookups are O(1) via per-set hash
-// indexes; LRU is maintained with intrusive lists so fully associative
-// configurations (a single 32K-way set in the paper's default) stay fast.
+// SNC is the sequence number cache. Lookups are O(1) via per-set
+// open-addressed hash indexes; LRU is maintained with intrusive lists so
+// fully associative configurations (a single 32K-way set in the paper's
+// default) stay fast.
 type SNC struct {
 	cfg       Config
 	entries   []entry
 	sets      []set
+	ways      int32
 	setMask   uint64
 	lineShift uint
 	occupied  int
+
+	// flushScratch backs FlushAll's result so steady-state context
+	// switches stop allocating.
+	flushScratch [][2]uint64
 
 	// Statistics.
 	QueryHits    uint64
@@ -181,33 +192,39 @@ func New(cfg Config) *SNC {
 		cfg:       cfg,
 		entries:   make([]entry, entries),
 		sets:      make([]set, nsets),
+		ways:      int32(ways),
 		setMask:   uint64(nsets - 1),
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 	}
 	for i := range s.sets {
-		s.resetSet(i, ways)
+		s.sets[i].base = int32(i) * s.ways
+		s.resetSet(i)
 	}
 	return s
 }
 
-// resetSet empties set si and rebuilds its vacancy free-list over slots
-// [si*ways, (si+1)*ways). Shared by New and FlushAll so the two construct
+// resetSet empties set si: slots [si*ways, (si+1)*ways) become vacant again
+// via the bump allocator. Shared by New and FlushAll so the two construct
 // identical vacancy state.
-func (s *SNC) resetSet(si, ways int) {
+func (s *SNC) resetSet(si int) {
 	st := &s.sets[si]
 	st.head, st.tail = -1, -1
-	st.index = make(map[uint64]int)
-	if st.free == nil {
-		st.free = make([]int, 0, ways)
+	st.bump = 0
+	st.index.init(int(s.ways))
+}
+
+// alloc hands out the set's next vacant slot, or -1 when it is full.
+func (st *set) alloc(ways int32) int32 {
+	if st.bump >= ways {
+		return -1
 	}
-	st.free = st.free[:0]
-	for w := ways - 1; w >= 0; w-- {
-		st.free = append(st.free, si*ways+w)
-	}
+	slot := st.base + st.bump
+	st.bump++
+	return slot
 }
 
 // unlink removes slot from its set's LRU list.
-func (s *SNC) unlink(st *set, slot int) {
+func (s *SNC) unlink(st *set, slot int32) {
 	e := &s.entries[slot]
 	if e.prev >= 0 {
 		s.entries[e.prev].next = e.next
@@ -223,7 +240,7 @@ func (s *SNC) unlink(st *set, slot int) {
 }
 
 // pushFront makes slot the MRU of its set.
-func (s *SNC) pushFront(st *set, slot int) {
+func (s *SNC) pushFront(st *set, slot int32) {
 	e := &s.entries[slot]
 	e.prev, e.next = -1, st.head
 	if st.head >= 0 {
@@ -236,7 +253,7 @@ func (s *SNC) pushFront(st *set, slot int) {
 }
 
 // touch refreshes slot to MRU.
-func (s *SNC) touch(st *set, slot int) {
+func (s *SNC) touch(st *set, slot int32) {
 	if st.head == slot {
 		return
 	}
@@ -257,7 +274,7 @@ func (s *SNC) locate(lineVA uint64) (st *set, tag uint64) {
 // entry's LRU state is refreshed.
 func (s *SNC) Query(lineVA uint64) (seq uint16, hit bool) {
 	st, tag := s.locate(lineVA)
-	if slot, ok := st.index[tag]; ok {
+	if slot, ok := st.index.find(tag); ok {
 		s.QueryHits++
 		s.touch(st, slot)
 		return s.entries[slot].seq, true
@@ -275,7 +292,7 @@ func (s *SNC) Query(lineVA uint64) (seq uint16, hit bool) {
 // re-encryption of the covered line (Section 3.4.2's remedy).
 func (s *SNC) Update(lineVA uint64) (seq uint16, hit, wrapped bool) {
 	st, tag := s.locate(lineVA)
-	if slot, ok := st.index[tag]; ok {
+	if slot, ok := st.index.find(tag); ok {
 		s.UpdateHits++
 		e := &s.entries[slot]
 		if e.seq == math.MaxUint16 {
@@ -296,16 +313,14 @@ func (s *SNC) Update(lineVA uint64) (seq uint16, hit, wrapped bool) {
 // the LRU policy.
 func (s *SNC) Install(lineVA uint64, seq uint16) (victimVA uint64, victimSeq uint16, evicted bool) {
 	st, tag := s.locate(lineVA)
-	if slot, ok := st.index[tag]; ok {
+	if slot, ok := st.index.find(tag); ok {
 		// Already present (e.g. installed by a racing path): refresh.
 		s.entries[slot].seq = seq
 		s.touch(st, slot)
 		return 0, 0, false
 	}
-	var slot int
-	if n := len(st.free); n > 0 {
-		slot = st.free[n-1]
-		st.free = st.free[:n-1]
+	slot := st.alloc(s.ways)
+	if slot >= 0 {
 		s.occupied++
 	} else {
 		// Evict the set's LRU entry.
@@ -313,11 +328,11 @@ func (s *SNC) Install(lineVA uint64, seq uint16) (victimVA uint64, victimSeq uin
 		victim := &s.entries[slot]
 		s.Evictions++
 		victimVA, victimSeq, evicted = victim.tag<<s.lineShift, victim.seq, true
-		delete(st.index, victim.tag)
+		st.index.del(victim.tag)
 		s.unlink(st, slot)
 	}
 	s.entries[slot] = entry{tag: tag, seq: seq, prev: -1, next: -1}
-	st.index[tag] = slot
+	st.index.put(tag, slot)
 	s.pushFront(st, slot)
 	return victimVA, victimSeq, evicted
 }
@@ -328,17 +343,15 @@ func (s *SNC) Install(lineVA uint64, seq uint16) (victimVA uint64, victimSeq uin
 // directly").
 func (s *SNC) TryInstall(lineVA uint64, seq uint16) bool {
 	st, tag := s.locate(lineVA)
-	if slot, ok := st.index[tag]; ok {
+	if slot, ok := st.index.find(tag); ok {
 		s.entries[slot].seq = seq
 		s.touch(st, slot)
 		return true
 	}
-	if n := len(st.free); n > 0 {
-		slot := st.free[n-1]
-		st.free = st.free[:n-1]
+	if slot := st.alloc(s.ways); slot >= 0 {
 		s.occupied++
 		s.entries[slot] = entry{tag: tag, seq: seq, prev: -1, next: -1}
-		st.index[tag] = slot
+		st.index.put(tag, slot)
 		s.pushFront(st, slot)
 		return true
 	}
@@ -351,7 +364,7 @@ func (s *SNC) TryInstall(lineVA uint64, seq uint16) bool {
 // their prediction must track).
 func (s *SNC) Peek(lineVA uint64) (seq uint16, ok bool) {
 	st, tag := s.locate(lineVA)
-	slot, ok := st.index[tag]
+	slot, ok := st.index.find(tag)
 	if !ok {
 		return 0, false
 	}
@@ -361,7 +374,7 @@ func (s *SNC) Peek(lineVA uint64) (seq uint16, ok bool) {
 // Contains reports presence without touching LRU state or stats.
 func (s *SNC) Contains(lineVA uint64) bool {
 	st, tag := s.locate(lineVA)
-	_, ok := st.index[tag]
+	_, ok := st.index.find(tag)
 	return ok
 }
 
@@ -370,18 +383,20 @@ func (s *SNC) Occupied() int { return s.occupied }
 
 // FlushAll invalidates every entry, returning the (lineVA, seq) pairs that
 // were held. Used on context switches when the SNC is flushed to memory
-// with encryption (Section 4.3 option 1).
+// with encryption (Section 4.3 option 1). The returned slice is a scratch
+// buffer owned by the SNC, valid only until the next FlushAll call.
 func (s *SNC) FlushAll() (spilled [][2]uint64) {
-	ways := s.cfg.Entries() / len(s.sets)
+	spilled = s.flushScratch[:0]
 	for si := range s.sets {
 		st := &s.sets[si]
 		for slot := st.head; slot >= 0; slot = s.entries[slot].next {
 			e := &s.entries[slot]
 			spilled = append(spilled, [2]uint64{e.tag << s.lineShift, uint64(e.seq)})
 		}
-		s.resetSet(si, ways)
+		s.resetSet(si)
 	}
 	s.occupied = 0
+	s.flushScratch = spilled
 	return spilled
 }
 

@@ -321,13 +321,56 @@ func (g *generator) Next() (Record, bool) {
 }
 
 // Collect drains a stream into a slice (test helper and small demos).
-func Collect(s Stream) []Record {
-	var out []Record
+func Collect(s Stream) []Record { return collectInto(nil, s) }
+
+// collectInto drains s appending to recs (which may carry preallocated
+// capacity) — the shared body of Collect and Materialize.
+func collectInto(recs []Record, s Stream) []Record {
 	for {
 		r, ok := s.Next()
 		if !ok {
-			return out
+			return recs
 		}
-		out = append(out, r)
+		recs = append(recs, r)
 	}
+}
+
+// replay is a Stream over pre-materialized records: a cursor and a slice.
+type replay struct {
+	recs []Record
+	i    int
+}
+
+// Next implements Stream.
+func (r *replay) Next() (Record, bool) {
+	if r.i >= len(r.recs) {
+		return Record{}, false
+	}
+	rec := r.recs[r.i]
+	r.i++
+	return rec, true
+}
+
+// Replay wraps pre-materialized records as a Stream. Several Replay streams
+// may share one record slice concurrently: the cursor is per-stream and the
+// records are never written.
+func Replay(recs []Record) Stream { return &replay{recs: recs} }
+
+// Materialize generates the profile's full trace into a slice, producing
+// exactly the records NewStream would emit at the same scale. Sweeps that
+// run one benchmark under many configurations materialize the trace once
+// and Replay it per run, taking trace generation (and its RNG) off the
+// simulation hot path.
+func Materialize(p Profile, scale float64) ([]Record, error) {
+	stream, err := NewStream(p, scale)
+	if err != nil {
+		return nil, err
+	}
+	refs := p.WarmupRefs()
+	for _, ph := range p.Phases {
+		if !ph.Warmup {
+			refs += int(float64(ph.Refs) * scale)
+		}
+	}
+	return collectInto(make([]Record, 0, refs), stream), nil
 }
