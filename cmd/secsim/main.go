@@ -51,28 +51,6 @@ import (
 	"secureproc/internal/workload"
 )
 
-// benchList expands the -bench flag into validated benchmark names.
-func benchList(arg string) ([]string, error) {
-	if strings.EqualFold(arg, "all") {
-		return workload.BenchmarkNames, nil
-	}
-	var out []string
-	for _, b := range strings.Split(arg, ",") {
-		b = strings.TrimSpace(b)
-		if b == "" {
-			continue
-		}
-		if _, ok := workload.ByName(b); !ok {
-			return nil, fmt.Errorf("unknown benchmark %q; try -list", b)
-		}
-		out = append(out, b)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no benchmarks given")
-	}
-	return out, nil
-}
-
 // printRegistry lists the registered schemes (with doc lines) and the
 // benchmark names.
 func printRegistry() {
@@ -99,7 +77,7 @@ func fatal(err error) {
 // machine under the scheme with the requested context-switch policy.
 func runMulti(multi, scheme, switchPolicy string, switchSet bool, quantum uint64, scale float64,
 	sncKB, ways int, crypto uint64, l2, l2ways int) {
-	benches, err := benchList(multi)
+	benches, err := experiments.ExpandBenches(multi)
 	if err != nil {
 		fatal(err)
 	}
@@ -233,7 +211,7 @@ func main() {
 		runMulti(*multi, *scheme, *switchPolicy, switchSet, *quantum, *scale, *sncKB, *ways, *crypto, *l2, *l2ways)
 		return
 	}
-	benches, err := benchList(*bench)
+	benches, err := experiments.ExpandBenches(*bench)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,80 @@
+// Command secsimd serves the simulation engine over HTTP: a long-lived
+// process in front of the experiment layer's singleflight memo, so
+// concurrent clients asking for the same configuration share one
+// simulation and repeated requests are answered from the LRU-bounded
+// cache.
+//
+// Usage:
+//
+//	secsimd [-addr :8080] [-scale 1.0] [-jobs N]
+//	        [-memo-capacity 0] [-trace-capacity 0] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/run              one spec -> simulation result
+//	POST /v1/sweep            spec list (bench may be "all" or a,b,c)
+//	GET  /v1/figures/{name}   rendered figure table (?format=text)
+//	GET  /v1/schemes          registered protection schemes
+//	GET  /v1/benchmarks       benchmark names
+//	GET  /healthz             liveness
+//	GET  /metrics             memo size, hit/miss/coalesced/eviction
+//	                          counts, in-flight simulations
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secureproc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Float64("scale", 1.0, "workload scale for every simulation")
+	jobs := flag.Int("jobs", 0, "concurrent simulations in sweep fan-out (0 = GOMAXPROCS)")
+	capacity := flag.Int("memo-capacity", 0, "result-memo LRU capacity in entries (0 = unbounded)")
+	traceCap := flag.Int("trace-capacity", 0, "materialized-trace memo LRU capacity (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Scale:         *scale,
+		Jobs:          *jobs,
+		Capacity:      *capacity,
+		TraceCapacity: *traceCap,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, memo capacity %d, trace capacity %d)",
+		*addr, *scale, *jobs, *capacity, *traceCap)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("secsimd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("secsimd: shutting down, draining in-flight requests (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("secsimd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("secsimd: %v", err)
+	}
+	log.Print("secsimd: drained, bye")
+}

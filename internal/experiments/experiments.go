@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
+	"secureproc/internal/workload"
 )
 
 // FigureResult is one regenerated figure: the measured series side by side
@@ -116,19 +116,34 @@ type Runner struct {
 	// path. Set it before the first figure request.
 	Jobs int
 
-	mu    sync.Mutex
-	cache map[runKey]*entry
+	// Capacity bounds the result memo: once more than Capacity completed
+	// simulations are memoized, the least-recently-used ones are evicted.
+	// In-flight simulations are pinned and never evicted. 0 (the default)
+	// means unbounded, which is what batch figure sweeps want — every
+	// result stays memoized, so the goldens are untouched. Long-lived
+	// services (secsimd) set a bound. Set before the first request.
+	Capacity int
+
+	// TraceCapacity bounds the materialized-trace memo the same way
+	// (traces are the big allocations: ~24B per record, hundreds of
+	// thousands of records per benchmark at scale 1.0). 0 = unbounded.
+	TraceCapacity int
+
+	// cache and traces are embedded by value (initialized on first use via
+	// each memo's sync.Once) so a Runner costs no extra allocations over
+	// the maps themselves — the perf harness gates allocs/op at zero
+	// tolerance.
+	cache memo[runKey, sim.Result]
 	sims  atomic.Int64
 
 	// traces memoizes materialized benchmark record sequences (see
 	// Runner.trace); independent latch domain from the result memo.
-	traceMu sync.Mutex
-	traces  map[string]*traceEntry
+	traces memo[string, []workload.Record]
 }
 
 // NewRunner creates a Runner at the given workload scale.
 func NewRunner(scale float64) *Runner {
-	return &Runner{Scale: scale, cache: make(map[runKey]*entry)}
+	return &Runner{Scale: scale}
 }
 
 func (r *Runner) config(k runKey) (sim.Config, error) {
@@ -150,7 +165,7 @@ func (r *Runner) config(k runKey) (sim.Config, error) {
 // valid benchmarks and configurations, so an error here is a programming
 // bug and panics as before.
 func (r *Runner) run(k runKey) sim.Result {
-	res, err := r.result(k)
+	res, err := r.result(context.Background(), k)
 	if err != nil {
 		panic(err)
 	}
@@ -449,26 +464,29 @@ func (r *Runner) ByName(name string) (FigureResult, error) {
 	return FigureResult{}, fmt.Errorf("experiments: unknown figure %q (have %s)", name, strings.Join(Names(), ", "))
 }
 
-// CachedRuns reports how many distinct simulations have been memoized
-// (diagnostics).
-func (r *Runner) CachedRuns() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.cache)
-}
+// CachedRuns reports how many simulations are currently memoized
+// (diagnostics; with a Capacity bound, evicted runs no longer count).
+func (r *Runner) CachedRuns() int { return r.results().size() }
 
 // Simulations reports how many simulations actually executed, as opposed to
-// being answered from the memo. With race-free deduplication this equals
-// CachedRuns once all requests have drained — the exactly-once property the
-// concurrency tests assert.
+// being answered from the memo. With race-free deduplication and no
+// eviction this equals CachedRuns once all requests have drained — the
+// exactly-once property the concurrency tests assert.
 func (r *Runner) Simulations() int64 { return r.sims.Load() }
+
+// MemoStats snapshots the result memo's lifecycle counters (size,
+// capacity, in-flight simulations, hit/miss/coalesced/eviction counts) —
+// the payload behind secsimd's /metrics endpoint.
+func (r *Runner) MemoStats() CacheStats { return r.results().stats() }
+
+// TraceStats snapshots the materialized-trace memo's counters.
+func (r *Runner) TraceStats() CacheStats { return r.traceMemo().stats() }
 
 // SortedCacheKeys returns a human-readable list of memoized runs.
 func (r *Runner) SortedCacheKeys() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.cache))
-	for k := range r.cache {
+	keys := r.results().keys()
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
 		out = append(out, fmt.Sprintf("%s/%s/snc%dKB-%dw/l2-%dKB-%dw/c%d",
 			k.bench, k.scheme, k.sncKB, k.sncWays, k.l2KB, k.l2Ways, k.cryptoLat))
 	}

@@ -1,67 +1,70 @@
 package experiments
 
-// This file is the concurrent sweep engine behind the figures: a
-// singleflight-style memo (per-key latches, so concurrent requests for the
-// same configuration block on one simulation instead of racing or
-// double-computing) plus a context-aware worker pool that fans a list of
-// runKeys out over up to Runner.Jobs goroutines. Every simulation builds
-// its own sim.System, workload stream and RNG, so workers share nothing
-// but the memo.
+// This file is the concurrent sweep engine behind the figures and the
+// secsimd service: a singleflight-style memo (per-key latches, so
+// concurrent requests for the same configuration block on one simulation
+// instead of racing or double-computing) plus a context-aware worker pool
+// that fans a list of runKeys out over up to Runner.Jobs goroutines. Every
+// simulation builds its own sim.System, workload stream and RNG, so
+// workers share nothing but the memo. The memo mechanics (coalescing,
+// cancellation, LRU eviction, panic recording) live in memo.go.
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
+	"secureproc/internal/core"
 	"secureproc/internal/sim"
 	"secureproc/internal/workload"
 )
 
-// entry is one memo slot. The goroutine that inserts the entry owns the
-// simulation; everyone else blocks on done and then reads res/err.
-type entry struct {
-	done chan struct{}
-	res  sim.Result
-	err  error
+// results returns the result memo, initializing it on first use so
+// Capacity can be set after NewRunner but before the first request.
+func (r *Runner) results() *memo[runKey, sim.Result] {
+	return r.cache.init(r.Capacity, func(k runKey) string {
+		return fmt.Sprintf("simulation %s/%s", k.bench, k.scheme)
+	})
 }
 
 // result executes (or recalls) the simulation for k, deduplicating
-// concurrent requests for the same key.
-func (r *Runner) result(k runKey) (sim.Result, error) {
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[runKey]*entry)
-	}
-	if e, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		<-e.done
-		return e.res, e.err
-	}
-	e := &entry{done: make(chan struct{})}
-	r.cache[k] = e
-	r.mu.Unlock()
+// concurrent requests for the same key. A caller whose ctx expires while
+// another goroutine owns the in-flight simulation returns ctx.Err()
+// promptly; the simulation itself always runs to completion so the result
+// is memoized for everyone else.
+func (r *Runner) result(ctx context.Context, k runKey) (sim.Result, error) {
+	return r.results().do(ctx, k, func() (sim.Result, error) {
+		// The owner's simulation is deliberately detached from ctx:
+		// cancellation governs waiting, never the shared computation. If
+		// the caller's ctx flowed in here, an owner coalescing onto an
+		// in-flight trace could record its own timeout as the entry's
+		// permanent error, poisoning the spec for every future request.
+		return r.simulate(context.Background(), k)
+	})
+}
 
-	// A panicking simulation must not strand waiters on the latch, and it
-	// must not release them with a zero result and nil error: record the
-	// panic as the entry's error, then re-panic in the owning goroutine.
+// resultErr is result for the sweep pool: a re-raised simulation panic is
+// converted into an error (the memo has already recorded it as the entry's
+// error) so one poisoned key fails the sweep instead of killing the
+// process — essential for the long-lived server, where sweep workers run
+// in goroutines no HTTP-layer recover can reach.
+func (r *Runner) resultErr(ctx context.Context, k runKey) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			e.err = fmt.Errorf("experiments: simulation %s/%s panicked: %v", k.bench, k.scheme, p)
-			close(e.done)
-			panic(p)
+			err = fmt.Errorf("experiments: simulation %s/%s panicked: %v", k.bench, k.scheme, p)
 		}
-		close(e.done)
 	}()
-	e.res, e.err = r.simulate(k)
-	return e.res, e.err
+	_, err = r.result(ctx, k)
+	return err
 }
 
 // simulate runs one simulation: fresh system, shared materialized trace.
 // Every configuration of one benchmark replays the same record sequence
 // (identical to what a fresh generator would emit), so trace generation
 // costs once per benchmark instead of once per simulation.
-func (r *Runner) simulate(k runKey) (sim.Result, error) {
+func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 	prof, ok := workload.ByName(k.bench)
 	if !ok {
 		return sim.Result{}, fmt.Errorf("experiments: unknown benchmark %q", k.bench)
@@ -70,7 +73,7 @@ func (r *Runner) simulate(k runKey) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
-	recs, err := r.trace(prof)
+	recs, err := r.trace(ctx, prof)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
@@ -82,32 +85,23 @@ func (r *Runner) simulate(k runKey) (sim.Result, error) {
 	return sys.Run(workload.Replay(recs), prof.WarmupRefs()), nil
 }
 
-// traceEntry is one memoized benchmark trace, latched like the result memo
-// so concurrent workers materialize each trace exactly once.
-type traceEntry struct {
-	done chan struct{}
-	recs []workload.Record
-	err  error
+// traceMemo returns the trace memo, initializing it on first use (see
+// results).
+func (r *Runner) traceMemo() *memo[string, []workload.Record] {
+	return r.traces.init(r.TraceCapacity, func(name string) string {
+		return fmt.Sprintf("trace %s", name)
+	})
 }
 
 // trace returns the materialized record sequence for prof at the Runner's
-// scale, generating it on first use.
-func (r *Runner) trace(prof workload.Profile) ([]workload.Record, error) {
-	r.traceMu.Lock()
-	if r.traces == nil {
-		r.traces = make(map[string]*traceEntry)
-	}
-	if e, ok := r.traces[prof.Name]; ok {
-		r.traceMu.Unlock()
-		<-e.done
-		return e.recs, e.err
-	}
-	e := &traceEntry{done: make(chan struct{})}
-	r.traces[prof.Name] = e
-	r.traceMu.Unlock()
-	defer close(e.done)
-	e.recs, e.err = workload.Materialize(prof, r.Scale)
-	return e.recs, e.err
+// scale, generating it on first use. Concurrent workers materialize each
+// trace exactly once; a panicking Materialize is recorded as the entry's
+// error (waiters see the failure, never an empty trace with a nil error)
+// and re-raised in the owning goroutine.
+func (r *Runner) trace(ctx context.Context, prof workload.Profile) ([]workload.Record, error) {
+	return r.traceMemo().do(ctx, prof.Name, func() ([]workload.Record, error) {
+		return workload.Materialize(prof, r.Scale)
+	})
 }
 
 // jobs resolves the effective worker count.
@@ -120,8 +114,12 @@ func (r *Runner) jobs() int {
 
 // sweep memoizes every key, fanning the list out over the worker pool. It
 // returns when all simulations are done, the context is cancelled, or a
-// simulation fails (first error wins; in-flight work is cancelled). With
-// one worker (or one key) it degrades to the plain sequential loop.
+// simulation fails (first error wins; in-flight work is cancelled). A
+// cancelled sweep always reports the cancellation, even when it raced the
+// end of the key feed (or the key list was empty), and a panicking
+// simulation surfaces as the sweep's error rather than propagating out of
+// a worker goroutine. With one worker (or one key) it degrades to the
+// plain sequential loop.
 func (r *Runner) sweep(ctx context.Context, keys []runKey) error {
 	n := r.jobs()
 	if n > len(keys) {
@@ -132,13 +130,14 @@ func (r *Runner) sweep(ctx context.Context, keys []runKey) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if _, err := r.result(k); err != nil {
+			if err := r.resultErr(ctx, k); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -155,7 +154,7 @@ func (r *Runner) sweep(ctx context.Context, keys []runKey) error {
 				if ctx.Err() != nil {
 					return
 				}
-				if _, err := r.result(k); err != nil {
+				if err := r.resultErr(ctx, k); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					cancel()
 					return
@@ -176,7 +175,12 @@ feed:
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	// Report cancellation off the parent, not the derived context: the
+	// derived one is about to be cancelled by the deferred cancel
+	// regardless, while parent.Err() is non-nil exactly when the caller's
+	// context was cancelled — including a cancellation that landed just as
+	// the feed loop finished and every worker drained cleanly.
+	return parent.Err()
 }
 
 // Spec is the exported face of a runKey: one simulation in the sweep
@@ -203,13 +207,57 @@ func DefaultSpec(bench string, scheme sim.SchemeRef) Spec {
 	return Spec{Bench: bench, Scheme: scheme, SNCKB: 64, L2KB: 256, L2Ways: 4, CryptoLat: 50}
 }
 
+// Validate checks the spec's names against the workload and scheme
+// registries, so callers assembling specs from external input (the secsimd
+// request path, the secsim flags) can reject bad ones before simulating.
+func (s Spec) Validate() error {
+	if _, ok := workload.ByName(s.Bench); !ok {
+		return fmt.Errorf("experiments: unknown benchmark %q", s.Bench)
+	}
+	if _, err := core.LookupRef(s.Scheme); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+// ExpandBenches expands a benchmark argument — a single name, a
+// comma-separated list, or "all" — into validated benchmark names. Shared
+// by the secsim -bench flag and the secsimd request parsers.
+func ExpandBenches(arg string) ([]string, error) {
+	if strings.EqualFold(arg, "all") {
+		return workload.BenchmarkNames, nil
+	}
+	var out []string
+	for _, b := range strings.Split(arg, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if _, ok := workload.ByName(b); !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (have %s)", b, strings.Join(workload.BenchmarkNames, ", "))
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmarks given")
+	}
+	return out, nil
+}
+
 func (s Spec) key() runKey {
 	return runKey{bench: s.Bench, scheme: s.Scheme.Canonical(), sncKB: s.SNCKB, sncWays: s.SNCWays,
 		l2KB: s.L2KB, l2Ways: s.L2Ways, cryptoLat: s.CryptoLat}
 }
 
 // Run executes (or recalls) the simulation for one spec.
-func (r *Runner) Run(s Spec) (sim.Result, error) { return r.result(s.key()) }
+func (r *Runner) Run(s Spec) (sim.Result, error) { return r.result(context.Background(), s.key()) }
+
+// RunCtx is Run with cancellation: if the spec's simulation is owned by
+// another in-flight request, a cancelled ctx releases this caller with
+// ctx.Err() while the shared simulation runs on.
+func (r *Runner) RunCtx(ctx context.Context, s Spec) (sim.Result, error) {
+	return r.result(ctx, s.key())
+}
 
 // Sweep memoizes every spec using up to Jobs concurrent workers, so a later
 // Run for any of them returns instantly. Specs already memoized cost

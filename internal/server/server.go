@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"secureproc/internal/core"
+	"secureproc/internal/experiments"
+	"secureproc/internal/sim"
+	"secureproc/internal/workload"
+)
+
+// Config sizes the service's runner. The zero value is a production-ish
+// default: native workload scale, GOMAXPROCS concurrent simulations,
+// unbounded memos.
+type Config struct {
+	// Scale is the workload scale for every simulation (0 = 1.0 native).
+	Scale float64
+	// Jobs caps concurrent simulations in sweep fan-out (0 = GOMAXPROCS).
+	Jobs int
+	// Capacity bounds the result memo (LRU; 0 = unbounded). In-flight
+	// simulations are pinned and never evicted.
+	Capacity int
+	// TraceCapacity bounds the materialized-trace memo (0 = unbounded).
+	TraceCapacity int
+}
+
+// Server is the secsimd HTTP handler: /v1/run, /v1/sweep,
+// /v1/figures/{name}, /v1/schemes, /v1/benchmarks, /healthz and /metrics.
+type Server struct {
+	runner *experiments.Runner
+	mux    *http.ServeMux
+	start  time.Time
+
+	// Per-endpoint request counters for /metrics.
+	runReqs, sweepReqs, figureReqs, listReqs, healthReqs, metricReqs atomic.Int64
+}
+
+// New builds the service over a fresh Runner.
+func New(cfg Config) *Server {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	r := experiments.NewRunner(cfg.Scale)
+	r.Jobs = cfg.Jobs
+	r.Capacity = cfg.Capacity
+	r.TraceCapacity = cfg.TraceCapacity
+	s := &Server{runner: r, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Runner exposes the underlying runner (diagnostics and tests).
+func (s *Server) Runner() *experiments.Runner { return s.runner }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// await runs fn detached from the request and waits for either the result
+// or the request context. On cancellation the caller returns promptly with
+// ctx.Err() while fn keeps running — for simulations that means the work
+// still lands in the shared memo for the next request. A panicking fn is
+// contained here (the simulation layer re-raises recorded panics in the
+// owning goroutine) so one poisoned request cannot take the service down.
+func await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				var zero T
+				ch <- outcome{zero, fmt.Errorf("internal error: %v", p)}
+			}
+		}()
+		v, err := fn()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// RunResponse is the /v1/run payload.
+type RunResponse struct {
+	Spec   SpecJSON   `json:"spec"`
+	Result sim.Result `json:"result"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.runReqs.Add(1)
+	var req SpecRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, err := req.specs(false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := specs[0]
+	res, err := await(r.Context(), func() (sim.Result, error) { return s.runner.Run(spec) })
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client is gone; nothing useful to write.
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Spec: specJSON(spec), Result: res})
+}
+
+// SweepRequest is the /v1/sweep payload: a list of specs, each expandable
+// over benchmarks ("bench": "all" or "gzip,mcf").
+type SweepRequest struct {
+	Specs []SpecRequest `json:"specs"`
+}
+
+// SweepResponse reports every resolved spec with its result, in request
+// order (benchmark expansion preserves benchmark order).
+type SweepResponse struct {
+	Count   int           `json:"count"`
+	Results []RunResponse `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweepReqs.Add(1)
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one spec"))
+		return
+	}
+	var specs []experiments.Spec
+	for i, sr := range req.Specs {
+		expanded, err := sr.specs(true)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			return
+		}
+		specs = append(specs, expanded...)
+	}
+	resp, err := await(r.Context(), func() (SweepResponse, error) {
+		// The sweep itself runs on a background context: a client that
+		// gives up mid-sweep stops waiting (via await) but the fan-out
+		// completes and warms the memo for the next caller.
+		if err := s.runner.Sweep(context.Background(), specs); err != nil {
+			return SweepResponse{}, err
+		}
+		out := SweepResponse{Count: len(specs), Results: make([]RunResponse, 0, len(specs))}
+		for _, sp := range specs {
+			res, err := s.runner.Run(sp) // memo hits after the sweep
+			if err != nil {
+				return SweepResponse{}, err
+			}
+			out.Results = append(out.Results, RunResponse{Spec: specJSON(sp), Result: res})
+		}
+		return out, nil
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FigureResponse is the /v1/figures/{name} payload.
+type FigureResponse struct {
+	Name     string `json:"name"`
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Rendered string `json:"rendered"`
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	s.figureReqs.Add(1)
+	name := r.PathValue("name")
+	fr, err := await(r.Context(), func() (experiments.FigureResult, error) {
+		return s.runner.ByName(name)
+	})
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			return
+		case strings.Contains(err.Error(), "unknown figure"):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, fr.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, FigureResponse{Name: name, ID: fr.ID, Title: fr.Title, Rendered: fr.Render()})
+}
+
+// SchemeInfo is one /v1/schemes entry.
+type SchemeInfo struct {
+	Name    string   `json:"name"`
+	Doc     string   `json:"doc"`
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	s.listReqs.Add(1)
+	ds := core.Descriptors()
+	out := make([]SchemeInfo, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, SchemeInfo{Name: d.Name, Doc: d.Doc, Aliases: d.Aliases})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schemes": out})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	s.listReqs.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": workload.BenchmarkNames})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.healthReqs.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// Metrics is the expvar-style /metrics payload.
+type Metrics struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      map[string]int64 `json:"requests_total"`
+	// Simulations counts simulations actually executed (memo misses that
+	// ran to completion started; hits and coalesced waiters don't add).
+	Simulations int64 `json:"simulations_total"`
+	// InFlightSims is the number of simulations executing right now.
+	InFlightSims int `json:"in_flight_sims"`
+	// ResultMemo and TraceMemo expose the singleflight caches' lifecycle
+	// counters (size, capacity, hits, misses, coalesced, evictions).
+	ResultMemo experiments.CacheStats `json:"result_memo"`
+	TraceMemo  experiments.CacheStats `json:"trace_memo"`
+}
+
+// MetricsSnapshot assembles the current metrics (also used by tests).
+func (s *Server) MetricsSnapshot() Metrics {
+	rm := s.runner.MemoStats()
+	return Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests: map[string]int64{
+			"run":      s.runReqs.Load(),
+			"sweep":    s.sweepReqs.Load(),
+			"figures":  s.figureReqs.Load(),
+			"listings": s.listReqs.Load(),
+			"healthz":  s.healthReqs.Load(),
+			"metrics":  s.metricReqs.Load(),
+		},
+		Simulations:  s.runner.Simulations(),
+		InFlightSims: rm.InFlight,
+		ResultMemo:   rm,
+		TraceMemo:    s.runner.TraceStats(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metricReqs.Add(1)
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
