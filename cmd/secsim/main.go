@@ -5,7 +5,7 @@
 //
 //	secsim [-bench mcf] [-scheme snc-lru] [-scale 1.0] [-snc 64] [-ways 0]
 //	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare] [-jobs N] [-seq]
-//	       [-list]
+//	       [-store DIR] [-list]
 //	secsim -multi mcf,gzip [-quantum 100000] [-switch flush|pid] [...]
 //	secsim -perf [-perfout BENCH.json]
 //	secsim -perfcmp base.json,cur.json [-perftol 0.10]
@@ -18,6 +18,12 @@
 // and print in deterministic order. With -compare, every registered scheme
 // runs per benchmark and a slowdown summary is printed (one benchmark's
 // slice of the paper's Figure 5, extended to the full registry).
+//
+// With -store DIR, completed results are persisted under DIR (keyed by run
+// configuration and the timing-model version): a later secsim or secsimd
+// invocation pointed at the same directory answers repeated configurations
+// from disk instead of re-simulating. Damaged entries fall back to
+// recompute.
 //
 // With -multi, the named benchmarks are time-sliced through ONE machine
 // (Section 4.3 multiprogramming): -quantum sets the slice length in
@@ -48,6 +54,7 @@ import (
 	"secureproc/internal/sched"
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
+	"secureproc/internal/store"
 	"secureproc/internal/workload"
 )
 
@@ -151,6 +158,7 @@ func main() {
 	perfTol := flag.Float64("perftol", 0.10, "ns/op regression tolerance for -perfcmp (fraction)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
+	storeDir := flag.String("store", "", "persist results in this directory across runs (empty = off)")
 	list := flag.Bool("list", false, "list registered schemes and benchmarks, then exit")
 	listBench := flag.Bool("listbench", false, "list benchmarks and exit")
 	flag.Parse()
@@ -219,6 +227,13 @@ func main() {
 	runner.Jobs = *jobs
 	if *seq {
 		runner.Jobs = 1
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, sim.TimingModelVersion)
+		if err != nil {
+			fatal(err)
+		}
+		runner.Store = st
 	}
 	mkSpec := func(b string, ref sim.SchemeRef) experiments.Spec {
 		return experiments.Spec{

@@ -8,6 +8,12 @@
 //
 //	secsimd [-addr :8080] [-scale 1.0] [-jobs N]
 //	        [-memo-capacity 0] [-trace-capacity 0] [-drain 30s]
+//	        [-store DIR]
+//
+// With -store, completed simulation results are persisted under DIR (keyed
+// by run configuration and the timing-model version) and survive restarts:
+// a rebooted secsimd answers previously-computed requests from disk instead
+// of re-simulating. Damaged or stale entries fall back to recompute.
 //
 // Endpoints:
 //
@@ -44,14 +50,19 @@ func main() {
 	capacity := flag.Int("memo-capacity", 0, "result-memo LRU capacity in entries (0 = unbounded)")
 	traceCap := flag.Int("trace-capacity", 0, "materialized-trace memo LRU capacity (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	storeDir := flag.String("store", "", "persist results in this directory across restarts (empty = off)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Scale:         *scale,
 		Jobs:          *jobs,
 		Capacity:      *capacity,
 		TraceCapacity: *traceCap,
+		StoreDir:      *storeDir,
 	})
+	if err != nil {
+		log.Fatalf("secsimd: %v", err)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -59,8 +70,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, memo capacity %d, trace capacity %d)",
-		*addr, *scale, *jobs, *capacity, *traceCap)
+	storeNote := "off"
+	if *storeDir != "" {
+		storeNote = *storeDir
+	}
+	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, memo capacity %d, trace capacity %d, store %s)",
+		*addr, *scale, *jobs, *capacity, *traceCap, storeNote)
 
 	select {
 	case err := <-errc:

@@ -227,3 +227,46 @@ func (c *Cache) MissRate() float64 {
 func (c *Cache) ResetStats() {
 	c.Accesses, c.Hits, c.Misses, c.Writebacks = 0, 0, 0, 0
 }
+
+// Snapshot is an opaque deep copy of the cache's mutable state — tag array,
+// per-line metadata (VA, LRU timestamp, dirty bit), LRU tick, and the stat
+// counters. It shares nothing with the cache it came from, so one snapshot
+// can seed any number of forked runs.
+type Snapshot struct {
+	tags []uint64
+	meta []lineMeta
+	tick uint64
+
+	accesses   uint64
+	hits       uint64
+	misses     uint64
+	writebacks uint64
+}
+
+// Snapshot captures the cache's full mutable state.
+func (c *Cache) Snapshot() Snapshot {
+	s := Snapshot{
+		tags:       make([]uint64, len(c.tags)),
+		meta:       make([]lineMeta, len(c.meta)),
+		tick:       c.tick,
+		accesses:   c.Accesses,
+		hits:       c.Hits,
+		misses:     c.Misses,
+		writebacks: c.Writebacks,
+	}
+	copy(s.tags, c.tags)
+	copy(s.meta, c.meta)
+	return s
+}
+
+// Restore reinstates a snapshot taken from a cache with the same geometry
+// (the tag and metadata arrays are sized by the configuration).
+func (c *Cache) Restore(s Snapshot) {
+	copy(c.tags, s.tags)
+	copy(c.meta, s.meta)
+	c.tick = s.tick
+	c.Accesses = s.accesses
+	c.Hits = s.hits
+	c.Misses = s.misses
+	c.Writebacks = s.writebacks
+}

@@ -273,3 +273,53 @@ func (c *CPU) Drain() {
 
 // OutstandingMisses returns the number of misses in flight (diagnostics).
 func (c *CPU) OutstandingMisses() int { return c.missN }
+
+// Snapshot is an opaque deep copy of the core's mutable timing state, taken
+// with Snapshot and reinstated with Restore. It shares nothing with the CPU
+// it came from, so one snapshot can seed any number of forked runs.
+type Snapshot struct {
+	clock        uint64
+	retired      uint64
+	misses       []inflight
+	missHead     int
+	missN        int
+	lastLoadDone uint64
+	slot         uint64
+
+	robStall  uint64
+	mshrStall uint64
+	depStall  uint64
+}
+
+// Snapshot captures the core's full mutable state.
+func (c *CPU) Snapshot() Snapshot {
+	s := Snapshot{
+		clock:        c.clock,
+		retired:      c.retired,
+		misses:       make([]inflight, len(c.misses)),
+		missHead:     c.missHead,
+		missN:        c.missN,
+		lastLoadDone: c.lastLoadDone,
+		slot:         c.slot,
+		robStall:     c.ROBStallCycles,
+		mshrStall:    c.MSHRStallCycles,
+		depStall:     c.DepStallCycles,
+	}
+	copy(s.misses, c.misses)
+	return s
+}
+
+// Restore reinstates a snapshot taken from a core with the same
+// configuration (the miss ring is sized by cfg.MSHRs).
+func (c *CPU) Restore(s Snapshot) {
+	c.clock = s.clock
+	c.retired = s.retired
+	copy(c.misses, s.misses)
+	c.missHead = s.missHead
+	c.missN = s.missN
+	c.lastLoadDone = s.lastLoadDone
+	c.slot = s.slot
+	c.ROBStallCycles = s.robStall
+	c.MSHRStallCycles = s.mshrStall
+	c.DepStallCycles = s.depStall
+}

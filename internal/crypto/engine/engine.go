@@ -116,6 +116,37 @@ func (e *Engine) Reset() {
 	e.Issued, e.BusyStalls, e.StallCycles = 0, 0, 0
 }
 
+// Snapshot is a deep copy of the engine's mutable state (per-port pipeline
+// occupancy and stats), taken with Snapshot and reinstated with Restore. It
+// shares nothing with the engine it came from.
+type Snapshot struct {
+	nextFree    []uint64
+	issued      uint64
+	busyStalls  uint64
+	stallCycles uint64
+}
+
+// Snapshot captures the engine's full mutable state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		nextFree:    make([]uint64, len(e.nextFree)),
+		issued:      e.Issued,
+		busyStalls:  e.BusyStalls,
+		stallCycles: e.StallCycles,
+	}
+	copy(s.nextFree, e.nextFree)
+	return s
+}
+
+// Restore reinstates a snapshot taken from an engine with the same port
+// count.
+func (e *Engine) Restore(s Snapshot) {
+	copy(e.nextFree, s.nextFree)
+	e.Issued = s.issued
+	e.BusyStalls = s.busyStalls
+	e.StallCycles = s.stallCycles
+}
+
 func max64(a, b uint64) uint64 {
 	if a > b {
 		return a

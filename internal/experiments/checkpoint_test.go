@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"secureproc/internal/sim"
+	"secureproc/internal/store"
+	"secureproc/internal/workload"
+)
+
+// cpScale keeps the equivalence sweeps quick; the properties under test
+// (checkpoint forking, store warm starts) are scale-independent.
+const cpScale = 0.02
+
+// straightThrough simulates one spec with a bare sim.System — no memo, no
+// checkpoint cache — as the ground truth Runner.Run must match.
+func straightThrough(t *testing.T, r *Runner, sp Spec) sim.Result {
+	t.Helper()
+	prof, ok := workload.ByName(sp.Bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", sp.Bench)
+	}
+	recs, err := workload.Materialize(prof, r.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := r.config(sp.key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := prof.WarmupRefs()
+	if warm > len(recs) {
+		warm = len(recs)
+	}
+	return sys.Run(workload.Replay(recs), warm)
+}
+
+// TestRunnerMatchesStraightThrough is the end-to-end checkpoint-equivalence
+// property: whether a Runner's simulation warms up from scratch (and leaves
+// a checkpoint behind) or forks from the process-wide checkpoint cache —
+// populated by an earlier Runner, possibly at a different scale — the Result
+// must be identical to a bare straight-through simulation.
+func TestRunnerMatchesStraightThrough(t *testing.T) {
+	specs := []Spec{
+		DefaultSpec("gzip", sim.SchemeOTPLRU),
+		DefaultSpec("mcf", sim.SchemeOTPMAC),
+		DefaultSpec("art", sim.SchemeXOM),
+	}
+	for _, sp := range specs {
+		cold := NewRunner(cpScale)
+		want := straightThrough(t, cold, sp)
+		got, err := cold.Run(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s/%s: first Runner.Run diverged from straight-through:\n got %+v\nwant %+v",
+				sp.Bench, sp.Scheme.Canonical(), got, want)
+		}
+		// A second Runner is guaranteed to find the checkpoint the first one
+		// left (its own memo is empty, so it simulates again — forked).
+		before := CheckpointCacheStats()
+		warm := NewRunner(cpScale)
+		got2, err := warm.Run(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2 != want {
+			t.Errorf("%s/%s: forked Runner.Run diverged from straight-through:\n got %+v\nwant %+v",
+				sp.Bench, sp.Scheme.Canonical(), got2, want)
+		}
+		if after := CheckpointCacheStats(); after.Hits <= before.Hits {
+			t.Errorf("%s/%s: second Runner did not fork from the checkpoint cache (hits %d -> %d)",
+				sp.Bench, sp.Scheme.Canonical(), before.Hits, after.Hits)
+		}
+		if warm.Simulations() != 1 {
+			t.Errorf("forked Runner ran %d simulations, want 1", warm.Simulations())
+		}
+	}
+}
+
+// TestForkedFiguresByteIdentical renders every figure through two
+// independent Runners: the second answers nothing from its own memo, so its
+// measurement runs fork from the checkpoints of the first wherever possible.
+// Every rendered table must come out byte-identical.
+func TestForkedFiguresByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	r1 := NewRunner(cpScale)
+	r1.Jobs = 4
+	first := r1.All()
+	r2 := NewRunner(cpScale)
+	r2.Jobs = 4
+	second := r2.All()
+	if len(first) != len(second) {
+		t.Fatalf("figure counts differ: %d vs %d", len(first), len(second))
+	}
+	names := Names()
+	for i := range first {
+		if a, b := first[i].Render(), second[i].Render(); a != b {
+			t.Errorf("%s: forked rerun rendered differently\nfirst:\n%s\nsecond:\n%s", names[i], a, b)
+		}
+	}
+}
+
+// TestRunnerStoreWarmStart covers the persistence tentpole at the Runner
+// level: a second Runner over the same store directory answers from disk
+// without simulating, and a damaged entry degrades to recompute — with the
+// same Result — rather than serving garbage or failing.
+func TestRunnerStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	sp := DefaultSpec("gzip", sim.SchemeOTPLRU)
+
+	st1, err := store.Open(dir, sim.TimingModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(cpScale)
+	r1.Store = st1
+	want, err := r1.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st1.Stats(); s.Writes != 1 || s.Misses != 1 {
+		t.Fatalf("first run store stats = %+v, want 1 miss + 1 write", s)
+	}
+
+	// Cold process, warm disk: no simulation at all.
+	st2, err := store.Open(dir, sim.TimingModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(cpScale)
+	r2.Store = st2
+	got, err := r2.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("stored result differs:\n got %+v\nwant %+v", got, want)
+	}
+	if r2.Simulations() != 0 {
+		t.Errorf("warm-started Runner ran %d simulations, want 0", r2.Simulations())
+	}
+	if s := st2.Stats(); s.Hits != 1 {
+		t.Errorf("warm start store stats = %+v, want 1 hit", s)
+	}
+
+	// Damage the entry: the next cold Runner must recompute gracefully.
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("entry files = %v (err %v), want exactly 1", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := store.Open(dir, sim.TimingModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRunner(cpScale)
+	r3.Store = st3
+	got3, err := r3.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3 != want {
+		t.Errorf("recomputed result differs:\n got %+v\nwant %+v", got3, want)
+	}
+	if r3.Simulations() != 1 {
+		t.Errorf("Runner over a corrupt store ran %d simulations, want 1", r3.Simulations())
+	}
+	if s := st3.Stats(); s.Corrupt != 1 || s.Writes != 1 {
+		t.Errorf("corrupt-entry store stats = %+v, want corrupt=1 writes=1 (repaired)", s)
+	}
+
+	// And the repair took: a fourth Runner warm-starts again.
+	st4, err := store.Open(dir, sim.TimingModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := NewRunner(cpScale)
+	r4.Store = st4
+	if got4, err := r4.Run(sp); err != nil || got4 != want {
+		t.Errorf("after repair: result %+v (err %v), want %+v", got4, err, want)
+	}
+	if r4.Simulations() != 0 {
+		t.Errorf("post-repair Runner ran %d simulations, want 0", r4.Simulations())
+	}
+}

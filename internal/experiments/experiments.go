@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
+	"secureproc/internal/store"
 	"secureproc/internal/workload"
 )
 
@@ -129,6 +131,15 @@ type Runner struct {
 	// thousands of records per benchmark at scale 1.0). 0 = unbounded.
 	TraceCapacity int
 
+	// Store, when non-nil, persists completed results to disk: a result-memo
+	// miss consults the store before simulating, and fresh results are
+	// spilled back, so a restarted process (or a fresh CI job pointed at the
+	// same directory) answers warm. Entries are keyed by the canonical run
+	// key plus the Runner's scale, under the store's timing-model version
+	// (sim.TimingModelVersion). Traces are never stored — they recompute on
+	// miss. Set before the first request.
+	Store *store.Store
+
 	// cache and traces are embedded by value (initialized on first use via
 	// each memo's sync.Once) so a Runner costs no extra allocations over
 	// the maps themselves — the perf harness gates allocs/op at zero
@@ -144,6 +155,16 @@ type Runner struct {
 // NewRunner creates a Runner at the given workload scale.
 func NewRunner(scale float64) *Runner {
 	return &Runner{Scale: scale}
+}
+
+// storeKey renders k plus the Runner's scale as the persistent-store key.
+// Unlike the checkpoint cache (warmup state is scale-independent), a stored
+// Result depends on the measured-phase length, so the scale is part of the
+// identity.
+func (r *Runner) storeKey(k runKey) string {
+	return fmt.Sprintf("%s|%s|snc%d.%d|l2_%d.%d|c%d|x%s",
+		k.bench, k.scheme, k.sncKB, k.sncWays, k.l2KB, k.l2Ways, k.cryptoLat,
+		strconv.FormatFloat(r.Scale, 'g', -1, 64))
 }
 
 func (r *Runner) config(k runKey) (sim.Config, error) {

@@ -8,8 +8,10 @@ package experiments
 // computation, completed entries are LRU-evictable under a configurable
 // capacity (in-flight entries are pinned), a panicking computation records
 // the panic as the entry's error before re-raising it (so waiters never
-// observe a zero value with a nil error), and every transition is counted
-// for the /metrics endpoint.
+// observe a zero value with a nil error), failed computations are dropped
+// after their waiters are released rather than cached (a transient error
+// never becomes a permanent negative cache), and every transition is
+// counted for the /metrics endpoint.
 
 import (
 	"context"
@@ -34,6 +36,10 @@ type CacheStats struct {
 	Coalesced int64 `json:"coalesced"`
 	// Evictions counts completed entries dropped by the LRU bound.
 	Evictions int64 `json:"evictions"`
+	// Errors counts computations that finished with an error (or panic) and
+	// were therefore dropped instead of cached — each such key recomputes on
+	// its next request.
+	Errors int64 `json:"errors"`
 }
 
 // memoEntry is one memo slot. The goroutine that inserts the entry owns the
@@ -65,6 +71,7 @@ type memo[K comparable, V any] struct {
 	misses     int64
 	coalesced  int64
 	evictions  int64
+	errors     int64
 	// describe renders a key for panic error messages ("simulation
 	// mcf/snc-lru"), set per memo so the message names what failed.
 	describe func(K) string
@@ -106,13 +113,7 @@ func (m *memo[K, V]) do(ctx context.Context, k K, fn func() (V, error)) (V, erro
 		}
 		m.coalesced++
 		m.mu.Unlock()
-		select {
-		case <-e.done:
-			return e.val, e.err
-		case <-ctx.Done():
-			var zero V
-			return zero, ctx.Err()
-		}
+		return m.wait(ctx, e)
 	}
 	m.misses++
 	m.inflight++
@@ -127,8 +128,17 @@ func (m *memo[K, V]) do(ctx context.Context, k K, fn func() (V, error)) (V, erro
 		}
 		m.mu.Lock()
 		m.inflight--
-		m.pushFront(e)
-		m.evictLocked()
+		if e.err != nil {
+			// A failed computation must not become a permanent negative
+			// cache: drop the entry so the next request recomputes. Waiters
+			// already holding the entry pointer still read the error through
+			// it after done closes.
+			delete(m.entries, e.key)
+			m.errors++
+		} else {
+			m.pushFront(e)
+			m.evictLocked()
+		}
 		m.mu.Unlock()
 		close(e.done)
 		if p != nil {
@@ -137,6 +147,26 @@ func (m *memo[K, V]) do(ctx context.Context, k K, fn func() (V, error)) (V, erro
 	}()
 	e.val, e.err = fn()
 	return e.val, e.err
+}
+
+// wait blocks a coalesced waiter on e until the computation completes or the
+// waiter's context expires. When both are ready, Go's select would otherwise
+// pick randomly — nondeterministically returning ctx.Err() for an entry that
+// has in fact completed — so the done channel is re-checked first and a
+// finished computation always wins over a cancelled context.
+func (m *memo[K, V]) wait(ctx context.Context, e *memoEntry[K, V]) (V, error) {
+	select {
+	case <-e.done:
+		return e.val, e.err
+	case <-ctx.Done():
+		select {
+		case <-e.done:
+			return e.val, e.err
+		default:
+		}
+		var zero V
+		return zero, ctx.Err()
+	}
 }
 
 // evictLocked drops least-recently-used completed entries until at most
@@ -217,5 +247,6 @@ func (m *memo[K, V]) stats() CacheStats {
 		Misses:    m.misses,
 		Coalesced: m.coalesced,
 		Evictions: m.evictions,
+		Errors:    m.errors,
 	}
 }

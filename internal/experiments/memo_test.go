@@ -39,7 +39,10 @@ func TestMemoHitMissCounters(t *testing.T) {
 	}
 }
 
-func TestMemoErrorsAreMemoized(t *testing.T) {
+// TestMemoErrorsAreDropped pins the negative-cache fix: a failed computation
+// is reported to its callers but not cached, so the next request retries —
+// and a retry that succeeds is served as a normal hit thereafter.
+func TestMemoErrorsAreDropped(t *testing.T) {
 	m := newTestMemo(0)
 	calls := 0
 	boom := errors.New("boom")
@@ -49,8 +52,20 @@ func TestMemoErrorsAreMemoized(t *testing.T) {
 			t.Fatalf("call %d: err = %v, want boom", i, err)
 		}
 	}
-	if calls != 1 {
-		t.Errorf("failing computation ran %d times, want 1 (errors memoize too)", calls)
+	if calls != 2 {
+		t.Fatalf("failing computation ran %d times, want 2 (errors must not memoize)", calls)
+	}
+	if s := m.stats(); s.Errors != 2 || s.Size != 0 {
+		t.Errorf("stats = %+v, want errors=2 size=0", s)
+	}
+	// A later attempt that succeeds lands in the memo like any first run.
+	v, err := m.do(context.Background(), "a", func() (int, error) { calls++; return 99, nil })
+	if err != nil || v != 99 {
+		t.Fatalf("recovered computation = (%d, %v), want (99, nil)", v, err)
+	}
+	v, err = m.do(context.Background(), "a", func() (int, error) { calls++; return -1, nil })
+	if err != nil || v != 99 || calls != 3 {
+		t.Errorf("after recovery: (%d, %v), calls=%d; want value 99 served as a hit with calls=3", v, err, calls)
 	}
 }
 
@@ -173,9 +188,74 @@ func TestMemoPanicReleasesWaitersWithError(t *testing.T) {
 	if !strings.Contains(err.Error(), "compute k panicked: kaboom") {
 		t.Errorf("waiter error %q does not describe the panic", err)
 	}
-	// The failed entry stays memoized with its error.
-	if _, err := m.do(context.Background(), "k", func() (int, error) { return -1, nil }); err == nil {
-		t.Error("memo hit after panic returned nil error")
+	// The failed entry is dropped, not cached: the next request recomputes
+	// and can succeed.
+	if v, err := m.do(context.Background(), "k", func() (int, error) { return -1, nil }); err != nil || v != -1 {
+		t.Errorf("retry after panic = (%d, %v), want (-1, nil) — panics must not become a permanent negative cache", v, err)
+	}
+}
+
+// TestMemoCompletedEntryBeatsCancelledContext pins the coalesced-waiter
+// select-race fix deterministically: with a completed entry and an
+// already-cancelled context both ready, wait must prefer the result. Before
+// the fix the two-way select picked randomly, so ~half of these iterations
+// returned ctx.Err() for a computation that had in fact finished.
+func TestMemoCompletedEntryBeatsCancelledContext(t *testing.T) {
+	m := newTestMemo(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 200; i++ {
+		e := &memoEntry[string, int]{key: "k", done: make(chan struct{}), val: 42}
+		close(e.done)
+		v, err := m.wait(ctx, e)
+		if err != nil || v != 42 {
+			t.Fatalf("iteration %d: wait = (%d, %v), want (42, nil) — completed entry must beat cancelled ctx", i, v, err)
+		}
+	}
+	// An entry that really is still in flight must still honour cancellation.
+	e := &memoEntry[string, int]{key: "k", done: make(chan struct{})}
+	if _, err := m.wait(ctx, e); !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-flight wait under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestMemoErroredEntryRetriesUnderRace hammers the error-drop path from many
+// goroutines (run with -race): concurrent callers of a flaky key either
+// observe the error or a successful value, and once a success lands it is
+// stable.
+func TestMemoErroredEntryRetriesUnderRace(t *testing.T) {
+	m := newTestMemo(0)
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	failsLeft := 25
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v, err := m.do(context.Background(), "k", func() (int, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					if failsLeft > 0 {
+						failsLeft--
+						return 0, boom
+					}
+					return 7, nil
+				})
+				if err == nil && v != 7 {
+					t.Errorf("success with wrong value %d", v)
+				}
+				if err != nil && !errors.Is(err, boom) {
+					t.Errorf("unexpected error %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := m.do(context.Background(), "k", func() (int, error) { return -1, nil })
+	if err != nil || v != 7 {
+		t.Errorf("final state = (%d, %v), want the recovered value (7, nil)", v, err)
 	}
 }
 

@@ -33,15 +33,28 @@ func (r *Runner) results() *memo[runKey, sim.Result] {
 // concurrent requests for the same key. A caller whose ctx expires while
 // another goroutine owns the in-flight simulation returns ctx.Err()
 // promptly; the simulation itself always runs to completion so the result
-// is memoized for everyone else.
+// is memoized for everyone else. With a persistent store attached, a memo
+// miss consults the store before simulating and a fresh simulation is
+// spilled back to it — errored computations are dropped by the memo and
+// never reach the store.
 func (r *Runner) result(ctx context.Context, k runKey) (sim.Result, error) {
 	return r.results().do(ctx, k, func() (sim.Result, error) {
+		if r.Store != nil {
+			var res sim.Result
+			if r.Store.Load(r.storeKey(k), &res) {
+				return res, nil
+			}
+		}
 		// The owner's simulation is deliberately detached from ctx:
 		// cancellation governs waiting, never the shared computation. If
 		// the caller's ctx flowed in here, an owner coalescing onto an
 		// in-flight trace could record its own timeout as the entry's
 		// permanent error, poisoning the spec for every future request.
-		return r.simulate(context.Background(), k)
+		res, err := r.simulate(context.Background(), k)
+		if err == nil && r.Store != nil {
+			r.Store.Save(r.storeKey(k), res)
+		}
+		return res, err
 	})
 }
 
@@ -63,7 +76,11 @@ func (r *Runner) resultErr(ctx context.Context, k runKey) (err error) {
 // simulate runs one simulation: fresh system, shared materialized trace.
 // Every configuration of one benchmark replays the same record sequence
 // (identical to what a fresh generator would emit), so trace generation
-// costs once per benchmark instead of once per simulation.
+// costs once per benchmark instead of once per simulation. The warmup
+// prefix additionally forks from the process-wide checkpoint cache (see
+// checkpoint.go): the first simulation of a configuration warms up and
+// checkpoints the boundary state, later ones restore it and run only the
+// measured phase — event-for-event identical to the straight-through run.
 func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 	prof, ok := workload.ByName(k.bench)
 	if !ok {
@@ -82,7 +99,20 @@ func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	r.sims.Add(1)
-	return sys.Run(workload.Replay(recs), prof.WarmupRefs()), nil
+	warm := prof.WarmupRefs()
+	if warm > len(recs) {
+		warm = len(recs)
+	}
+	if cp, ok := checkpoints.get(k); ok {
+		if sys.Restore(cp) == nil {
+			return sys.RunMeasured(workload.Replay(recs[warm:])), nil
+		}
+	}
+	sys.RunWarmup(workload.Replay(recs[:warm]))
+	if cp, ok := sys.Checkpoint(); ok {
+		checkpoints.put(k, cp)
+	}
+	return sys.RunMeasured(workload.Replay(recs[warm:])), nil
 }
 
 // traceMemo returns the trace memo, initializing it on first use (see

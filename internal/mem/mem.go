@@ -175,6 +175,34 @@ func (b *Bus) ResetStats() {
 	b.BusyCycles = 0
 }
 
+// BusSnapshot is a copy of the bus's mutable state (timing reservations and
+// per-source transaction counters), taken with Snapshot and reinstated with
+// Restore.
+type BusSnapshot struct {
+	nextFree     uint64
+	writeFree    uint64
+	transactions [numSources]uint64
+	busyCycles   uint64
+}
+
+// Snapshot captures the bus's full mutable state.
+func (b *Bus) Snapshot() BusSnapshot {
+	return BusSnapshot{
+		nextFree:     b.nextFree,
+		writeFree:    b.writeFree,
+		transactions: b.Transactions,
+		busyCycles:   b.BusyCycles,
+	}
+}
+
+// Restore reinstates a snapshot taken from a bus with the same configuration.
+func (b *Bus) Restore(s BusSnapshot) {
+	b.nextFree = s.nextFree
+	b.writeFree = s.writeFree
+	b.Transactions = s.transactions
+	b.BusyCycles = s.busyCycles
+}
+
 // WriteBuffer models the deferred-write queue between L2 and memory
 // (paper Figure 2/4). Evicted lines wait here while being encrypted; entries
 // drain to the bus in FIFO order. The CPU only stalls when the buffer is
@@ -243,6 +271,35 @@ func (w *WriteBuffer) Occupancy(now uint64) int {
 
 // Depth returns the configured capacity.
 func (w *WriteBuffer) Depth() int { return w.depth }
+
+// WriteBufferSnapshot is a deep copy of the buffer's mutable state (pending
+// drain completion times and stats), taken with Snapshot and reinstated with
+// Restore. It shares nothing with the buffer it came from.
+type WriteBufferSnapshot struct {
+	pending    []uint64
+	inserted   uint64
+	fullStalls uint64
+}
+
+// Snapshot captures the buffer's full mutable state.
+func (w *WriteBuffer) Snapshot() WriteBufferSnapshot {
+	s := WriteBufferSnapshot{
+		pending:    make([]uint64, len(w.pending)),
+		inserted:   w.Inserted,
+		fullStalls: w.FullStalls,
+	}
+	copy(s.pending, w.pending)
+	return s
+}
+
+// Restore reinstates a snapshot taken from a buffer with the same depth. The
+// existing backing array is reused when large enough, so a restored buffer
+// keeps its steady-state (allocation-free) capacity.
+func (w *WriteBuffer) Restore(s WriteBufferSnapshot) {
+	w.pending = append(w.pending[:0], s.pending...)
+	w.Inserted = s.inserted
+	w.FullStalls = s.fullStalls
+}
 
 func maxU64(a, b uint64) uint64 {
 	if a > b {

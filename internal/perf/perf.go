@@ -113,8 +113,13 @@ func measureOp(op func() (sims int, instrs uint64)) Metric {
 	return m
 }
 
-// measureSweep regenerates every figure (a fresh Runner per op, so nothing
-// is answered from a previous round's memo) at the golden scale.
+// measureSweep regenerates every figure at the golden scale with a fresh
+// Runner per op, so nothing is answered from a previous round's result
+// memo. The runs do fork from the process-wide post-warmup checkpoint
+// cache, deliberately: the untimed warmup op populates it, so the timed
+// rounds measure the forked steady state a long-lived service settles
+// into — warmup simulated once per configuration, measurement phases
+// re-run in full.
 func measureSweep() Metric {
 	return measureOp(func() (int, uint64) {
 		r := experiments.NewRunner(sweepScale)

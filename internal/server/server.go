@@ -12,6 +12,7 @@ import (
 	"secureproc/internal/core"
 	"secureproc/internal/experiments"
 	"secureproc/internal/sim"
+	"secureproc/internal/store"
 	"secureproc/internal/workload"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	Capacity int
 	// TraceCapacity bounds the materialized-trace memo (0 = unbounded).
 	TraceCapacity int
+	// StoreDir, when non-empty, persists completed results under this
+	// directory (keyed by run configuration and sim.TimingModelVersion) so
+	// a restarted service answers repeated requests without re-simulating.
+	StoreDir string
 }
 
 // Server is the secsimd HTTP handler: /v1/run, /v1/sweep,
@@ -41,8 +46,9 @@ type Server struct {
 	runReqs, sweepReqs, figureReqs, listReqs, healthReqs, metricReqs atomic.Int64
 }
 
-// New builds the service over a fresh Runner.
-func New(cfg Config) *Server {
+// New builds the service over a fresh Runner. The only failure mode is an
+// unusable StoreDir.
+func New(cfg Config) (*Server, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
 	}
@@ -50,6 +56,13 @@ func New(cfg Config) *Server {
 	r.Jobs = cfg.Jobs
 	r.Capacity = cfg.Capacity
 	r.TraceCapacity = cfg.TraceCapacity
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, sim.TimingModelVersion)
+		if err != nil {
+			return nil, err
+		}
+		r.Store = st
+	}
 	s := &Server{runner: r, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -58,7 +71,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Runner exposes the underlying runner (diagnostics and tests).
@@ -277,11 +290,22 @@ type Metrics struct {
 	// counters (size, capacity, hits, misses, coalesced, evictions).
 	ResultMemo experiments.CacheStats `json:"result_memo"`
 	TraceMemo  experiments.CacheStats `json:"trace_memo"`
+	// ResultStore exposes the persistent warm-start store's counters
+	// (hits, misses, corrupt entries, writes); absent when no -store
+	// directory is configured.
+	ResultStore *store.Stats `json:"result_store,omitempty"`
+	// Checkpoints exposes the process-wide post-warmup checkpoint cache.
+	Checkpoints experiments.CheckpointStats `json:"checkpoints"`
 }
 
 // MetricsSnapshot assembles the current metrics (also used by tests).
 func (s *Server) MetricsSnapshot() Metrics {
 	rm := s.runner.MemoStats()
+	var storeStats *store.Stats
+	if s.runner.Store != nil {
+		st := s.runner.Store.Stats()
+		storeStats = &st
+	}
 	return Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: map[string]int64{
@@ -296,6 +320,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 		InFlightSims: rm.InFlight,
 		ResultMemo:   rm,
 		TraceMemo:    s.runner.TraceStats(),
+		ResultStore:  storeStats,
+		Checkpoints:  experiments.CheckpointCacheStats(),
 	}
 }
 

@@ -24,7 +24,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Scale == 0 {
 		cfg.Scale = testScale
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -267,7 +270,10 @@ func TestSweepEndpoint(t *testing.T) {
 // server down and asserts the in-flight request completes with a full
 // response (http.Server.Shutdown waits for active handlers).
 func TestGracefulShutdownDrainsSweep(t *testing.T) {
-	s := New(Config{Scale: testScale, Jobs: 2})
+	s, err := New(Config{Scale: testScale, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := &http.Server{Handler: s}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -385,5 +391,58 @@ func TestFigureEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown figure: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStoreWarmRestart is the in-process analog of the CI warm-restart
+// smoke: a server with a -store directory persists its results, and a
+// replacement server over the same directory answers the same request from
+// disk — zero simulations — with the store counters visible in /metrics.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"bench":"gzip","scheme":"snc-lru"}`
+
+	_, ts1 := newTestServer(t, Config{StoreDir: dir})
+	resp, b := postJSON(t, ts1.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp.StatusCode, b)
+	}
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resp, b2 := postJSON(t, ts2.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted run: status %d: %s", resp.StatusCode, b2)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("restarted response differs:\nfirst:  %s\nsecond: %s", b, b2)
+	}
+	var m Metrics
+	getJSON(t, ts2.URL+"/metrics", &m)
+	if m.ResultStore == nil {
+		t.Fatal("/metrics missing result_store with a store configured")
+	}
+	if m.ResultStore.Hits != 1 {
+		t.Errorf("store hits = %d, want 1", m.ResultStore.Hits)
+	}
+	if m.Simulations != 0 {
+		t.Errorf("restarted server ran %d simulations, want 0", m.Simulations)
+	}
+	if s2.Runner().Store == nil {
+		t.Error("runner store not wired")
+	}
+}
+
+// TestMetricsWithoutStore: with no StoreDir the result_store field is
+// absent, not a block of zeros masquerading as a disabled store.
+func TestMetricsWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var raw map[string]json.RawMessage
+	getJSON(t, ts.URL+"/metrics", &raw)
+	if _, ok := raw["result_store"]; ok {
+		t.Error("/metrics has result_store without a store configured")
+	}
+	if _, ok := raw["checkpoints"]; !ok {
+		t.Error("/metrics missing checkpoints")
 	}
 }

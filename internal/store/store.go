@@ -1,0 +1,180 @@
+// Package store persists completed simulation results across process
+// restarts: a small content-addressed file store that the experiments
+// Runner's result memo falls through to on miss.
+//
+// Entries are keyed by (model, key) — the caller's canonical run key plus a
+// timing-model version string — so results computed by an older simulator
+// never answer for a newer one: after a model bump every old entry is simply
+// a miss. Each entry is one JSON envelope carrying a CRC over its payload;
+// anything unreadable, truncated, mismatched or checksum-failing is counted
+// as corrupt and treated as a miss, never surfaced as data. Writes go
+// through a temp file + rename so a crash mid-write leaves either the old
+// entry or none, not a torn one.
+//
+// The store is deliberately generic (any JSON-serializable payload) and
+// self-contained: it knows nothing about sim.Result, and failures are
+// counted, not returned — a warm-start cache must degrade to recompute, not
+// take the service down.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// format identifies the envelope layout; bump on incompatible change.
+const format = 1
+
+// envelope is the on-disk shape of one entry.
+type envelope struct {
+	Format int `json:"format"`
+	// Model and Key echo the addressing so a hash collision (or a stray
+	// file) can never serve the wrong payload.
+	Model string `json:"model"`
+	Key   string `json:"key"`
+	// CRC is an IEEE CRC-32 over the raw payload bytes.
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats is a point-in-time snapshot of the store's counters, exported for
+// the secsimd /metrics endpoint.
+type Stats struct {
+	// Hits counts loads answered from a valid entry.
+	Hits int64 `json:"hits"`
+	// Misses counts loads with no entry (including model-version misses).
+	Misses int64 `json:"misses"`
+	// Corrupt counts loads that found an unreadable, truncated or
+	// checksum-failing entry and fell back to recompute.
+	Corrupt int64 `json:"corrupt"`
+	// Writes counts entries persisted.
+	Writes int64 `json:"writes"`
+	// WriteErrors counts failed persistence attempts (the result is still
+	// served from memory; only the warm start is lost).
+	WriteErrors int64 `json:"write_errors"`
+}
+
+// Store is a directory of persisted results for one timing-model version.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir   string
+	model string
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	corrupt     atomic.Int64
+	writes      atomic.Int64
+	writeErrors atomic.Int64
+}
+
+// Open prepares dir (creating it if needed) as a result store for the given
+// model version string.
+func Open(dir, model string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if model == "" {
+		return nil, fmt.Errorf("store: empty model version")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, model: model}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path derives the entry file for key: a hash of (model, key) keeps
+// arbitrary key strings out of filenames.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(s.model + "\x00" + key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])[:32]+".json")
+}
+
+// Load reads the entry for key into out (a JSON-unmarshal target),
+// reporting whether a valid entry was found. Damaged entries are counted as
+// corrupt and report false — the caller recomputes.
+func (s *Store) Load(key string, out any) bool {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+		} else {
+			s.corrupt.Add(1)
+		}
+		return false
+	}
+	var env envelope
+	if json.Unmarshal(data, &env) != nil || env.Format != format ||
+		env.CRC != crc32.ChecksumIEEE(env.Payload) {
+		s.corrupt.Add(1)
+		return false
+	}
+	if env.Model != s.model || env.Key != key {
+		// A different (model, key) landing on this file is an address
+		// collision or a stale directory, not damage: a plain miss.
+		s.misses.Add(1)
+		return false
+	}
+	if json.Unmarshal(env.Payload, out) != nil {
+		s.corrupt.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Save persists v as the entry for key, atomically (temp file + rename).
+// Failures are counted, not returned: losing a warm start is acceptable,
+// failing the run that produced the result is not.
+func (s *Store) Save(key string, v any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	env := envelope{
+		Format:  format,
+		Model:   s.model,
+		Key:     key,
+		CRC:     crc32.ChecksumIEEE(payload),
+		Payload: payload,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	final := s.path(key)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), final) != nil {
+		os.Remove(tmp.Name())
+		s.writeErrors.Add(1)
+		return
+	}
+	s.writes.Add(1)
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+	}
+}
