@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	secsimd [-addr :8080] [-scale 1.0] [-jobs N]
+//	secsimd [-addr :8080] [-scale 1.0] [-jobs N] [-simjobs K]
 //	        [-memo-capacity 0] [-trace-capacity 0] [-drain 30s]
 //	        [-store DIR]
+//
+// With -simjobs K > 1, a single uncached simulation may split its measured
+// phase into K speculative epochs and run them on idle -jobs slots (see
+// /metrics "speculation"); results are byte-identical to serial runs.
 //
 // With -store, completed simulation results are persisted under DIR (keyed
 // by run configuration and the timing-model version) and survive restarts:
@@ -47,6 +51,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.Float64("scale", 1.0, "workload scale for every simulation")
 	jobs := flag.Int("jobs", 0, "concurrent simulations in sweep fan-out (0 = GOMAXPROCS)")
+	simJobs := flag.Int("simjobs", 0, "epochs one simulation may run speculatively in parallel on idle -jobs slots (0/1 = serial)")
 	capacity := flag.Int("memo-capacity", 0, "result-memo LRU capacity in entries (0 = unbounded)")
 	traceCap := flag.Int("trace-capacity", 0, "materialized-trace memo LRU capacity (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -56,6 +61,7 @@ func main() {
 	srv, err := server.New(server.Config{
 		Scale:         *scale,
 		Jobs:          *jobs,
+		SimJobs:       *simJobs,
 		Capacity:      *capacity,
 		TraceCapacity: *traceCap,
 		StoreDir:      *storeDir,
@@ -74,8 +80,8 @@ func main() {
 	if *storeDir != "" {
 		storeNote = *storeDir
 	}
-	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, memo capacity %d, trace capacity %d, store %s)",
-		*addr, *scale, *jobs, *capacity, *traceCap, storeNote)
+	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, simjobs %d, memo capacity %d, trace capacity %d, store %s)",
+		*addr, *scale, *jobs, *simJobs, *capacity, *traceCap, storeNote)
 
 	select {
 	case err := <-errc:

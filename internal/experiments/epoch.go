@@ -1,0 +1,239 @@
+package experiments
+
+// Intra-simulation parallelism. The sweep engine's natural unit of
+// concurrency is the whole simulation (Runner.Jobs fans runKeys out over a
+// worker pool), which leaves cores idle whenever fewer distinct
+// configurations remain than workers — the tail of every sweep, and the
+// common case for secsimd serving one uncached request. Setting
+// Runner.SimJobs > 1 lets a single simulation borrow those idle cores:
+// simulate() splits the measured phase into SimJobs epochs and runs them
+// through sim.EpochSim, which speculates later epochs from recorded boundary
+// predictions and verifies before committing (see internal/sim/parallel.go).
+//
+// The two levels share one budget: Runner.Jobs is the total worker count,
+// and a simulation may only go wide on slack. Each in-flight simulation
+// holds one implicit slot (the goroutine running it); extra intra-sim
+// workers are borrowed from jobs() − running − borrowed via a lock-free CAS
+// loop, and returned when the run finishes. A saturated sweep therefore
+// degrades to today's one-worker-per-simulation behaviour, while a lone
+// request on an idle Runner fans out across the machine. Borrowing never
+// blocks and never over-commits, so no interleaving of sweeps and single
+// runs can deadlock or oversubscribe.
+
+import (
+	"strconv"
+	"sync"
+
+	"secureproc/internal/sim"
+)
+
+// epochSimCapacity bounds the EpochSim cache. Entries are heavyweight — an
+// EpochSim holds K full systems plus 2(K+1) boundary checkpoints (the OTP
+// configurations run to low tens of MB each) — but the cache only pays off
+// for configurations that are re-simulated repeatedly at the same scale
+// (the perf harness, repeated secsimd requests after result-memo eviction),
+// so a small bound captures the win without hoarding memory.
+const epochSimCapacity = 8
+
+// EpochCacheStats is a point-in-time snapshot of the EpochSim cache's
+// counters, exported for diagnostics and the secsimd /metrics endpoint.
+type EpochCacheStats struct {
+	// Size is the number of cached epoch simulators.
+	Size int `json:"size"`
+	// Capacity is the cache bound.
+	Capacity int `json:"capacity"`
+	// Hits counts parallel runs that reused a cached EpochSim (and with it
+	// the recorded boundary predictions, which is what makes the warm run
+	// speculate successfully).
+	Hits int64 `json:"hits"`
+	// Misses counts parallel runs that built a fresh EpochSim.
+	Misses int64 `json:"misses"`
+	// Evictions counts simulators dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+}
+
+// esEntry is one cached epoch simulator with intrusive LRU links.
+type esEntry struct {
+	key        string
+	es         *sim.EpochSim
+	prev, next *esEntry
+}
+
+// epochSimCache is a mutex-guarded LRU map of epoch simulators, keyed by the
+// persistent store key (configuration + scale — predictions are recorded
+// per measured-trace length, so the scale is part of the identity) plus the
+// epoch count. An EpochSim serializes its own runs internally, so handing
+// one entry to two concurrent borrowers is safe, merely sequential.
+type epochSimCache struct {
+	mu         sync.Mutex
+	cap        int
+	entries    map[string]*esEntry
+	head, tail *esEntry
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+// epochSims is the process-wide cache, shared across Runners exactly like
+// the post-warmup checkpoint cache in checkpoint.go.
+var epochSims = &epochSimCache{
+	cap:     epochSimCapacity,
+	entries: make(map[string]*esEntry),
+}
+
+// epochKey names the EpochSim for k at this Runner's scale with epochs
+// epochs.
+func (r *Runner) epochKey(k runKey, epochs int) string {
+	return r.storeKey(k) + "|e" + strconv.Itoa(epochs)
+}
+
+// get returns the cached simulator, refreshing its recency.
+func (c *epochSimCache) get(key string) (*sim.EpochSim, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.es, true
+}
+
+// put caches the simulator, evicting beyond capacity.
+func (c *epochSimCache) put(key string, es *sim.EpochSim) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.es = es
+		c.moveToFront(e)
+		return
+	}
+	e := &esEntry{key: key, es: es}
+	c.entries[key] = e
+	c.pushFront(e)
+	for c.cap > 0 && len(c.entries) > c.cap && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+}
+
+func (c *epochSimCache) pushFront(e *esEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	} else {
+		c.tail = e
+	}
+	c.head = e
+}
+
+func (c *epochSimCache) unlink(e *esEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *epochSimCache) moveToFront(e *esEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *epochSimCache) stats() EpochCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return EpochCacheStats{
+		Size:      len(c.entries),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// EpochSimCacheStats snapshots the process-wide EpochSim cache counters.
+func EpochSimCacheStats() EpochCacheStats { return epochSims.stats() }
+
+// tryBorrow claims up to want extra worker slots from the Runner's shared
+// budget (jobs() minus slots held by in-flight simulations minus slots
+// already borrowed). It returns how many it got — possibly zero — and never
+// blocks: a simulation that cannot go wide right now runs serially rather
+// than waiting for slack that sweep workers may never release.
+func (r *Runner) tryBorrow(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	budget := int64(r.jobs())
+	for {
+		cur := r.borrowed.Load()
+		avail := budget - r.running.Load() - cur
+		if avail <= 0 {
+			return 0
+		}
+		n := int64(want)
+		if n > avail {
+			n = avail
+		}
+		if r.borrowed.CompareAndSwap(cur, cur+n) {
+			return int(n)
+		}
+	}
+}
+
+// unborrow returns slots claimed by tryBorrow.
+func (r *Runner) unborrow(n int) {
+	if n > 0 {
+		r.borrowed.Add(int64(-n))
+	}
+}
+
+// SpeculationTotals aggregates the speculation bookkeeping across every
+// epoch-parallel run this Runner dispatched, for diagnostics and the
+// secsimd /metrics endpoint. Serial simulations contribute nothing.
+type SpeculationTotals struct {
+	// ParallelRuns counts simulations whose measured phase ran through an
+	// EpochSim (i.e. SimJobs > 1 and the budget had slack).
+	ParallelRuns int64 `json:"parallel_runs"`
+	// Epochs, Commits and Rollbacks sum sim.SpecStats over those runs.
+	Epochs    int64 `json:"epochs"`
+	Commits   int64 `json:"commits"`
+	Rollbacks int64 `json:"rollbacks"`
+	// ResimCycles sums the simulated cycles re-executed by rollbacks — the
+	// total price of misspeculation.
+	ResimCycles int64 `json:"resim_cycles"`
+}
+
+// SpeculationStats snapshots the Runner's speculation totals.
+func (r *Runner) SpeculationStats() SpeculationTotals {
+	return SpeculationTotals{
+		ParallelRuns: r.parallelRuns.Load(),
+		Epochs:       r.specEpochs.Load(),
+		Commits:      r.specCommits.Load(),
+		Rollbacks:    r.specRollbacks.Load(),
+		ResimCycles:  r.specResim.Load(),
+	}
+}
+
+// recordSpeculation folds one parallel run's bookkeeping into the totals.
+func (r *Runner) recordSpeculation(s sim.SpecStats) {
+	r.parallelRuns.Add(1)
+	r.specEpochs.Add(int64(s.Epochs))
+	r.specCommits.Add(int64(s.Commits))
+	r.specRollbacks.Add(int64(s.Rollbacks))
+	r.specResim.Add(int64(s.ResimCycles))
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"secureproc/internal/sim"
+)
+
+// epochSpec builds a spec for the scheme under the paper's default
+// configuration.
+func epochSpec(t *testing.T, bench, scheme string) Spec {
+	t.Helper()
+	ref, err := sim.SchemeByName(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultSpec(bench, ref)
+}
+
+// TestSimJobsEquivalence: a Runner granted intra-sim workers must return the
+// byte-identical Result the serial Runner computes — on the cold first run
+// (recording pipeline) and on a warm re-run from a fresh Runner (speculating
+// from the process-wide EpochSim cache), where every prediction must commit.
+//
+// The scale is deliberately unique to this test so the process-wide epoch
+// and checkpoint caches cannot hand it entries recorded by other tests.
+func TestSimJobsEquivalence(t *testing.T) {
+	const scale = 0.021
+	specs := []Spec{
+		epochSpec(t, "mcf", schemeLRU),
+		epochSpec(t, "gzip", schemeMACBlock),
+		epochSpec(t, "parser", schemePrecompute),
+	}
+
+	serial := NewRunner(scale)
+	serial.Jobs = 1
+
+	cold := NewRunner(scale)
+	cold.Jobs = 4
+	cold.SimJobs = 4
+
+	warm := NewRunner(scale)
+	warm.Jobs = 4
+	warm.SimJobs = 4
+
+	for _, s := range specs {
+		want, err := serial.Run(s)
+		if err != nil {
+			t.Fatalf("%s/%s serial: %v", s.Bench, s.Scheme.Canonical(), err)
+		}
+		got, err := cold.Run(s)
+		if err != nil {
+			t.Fatalf("%s/%s cold parallel: %v", s.Bench, s.Scheme.Canonical(), err)
+		}
+		if got != want {
+			t.Errorf("%s/%s: cold parallel result diverged:\n got %+v\nwant %+v",
+				s.Bench, s.Scheme.Canonical(), got, want)
+		}
+		again, err := warm.Run(s)
+		if err != nil {
+			t.Fatalf("%s/%s warm parallel: %v", s.Bench, s.Scheme.Canonical(), err)
+		}
+		if again != want {
+			t.Errorf("%s/%s: warm parallel result diverged:\n got %+v\nwant %+v",
+				s.Bench, s.Scheme.Canonical(), again, want)
+		}
+	}
+
+	if st := serial.SpeculationStats(); st.ParallelRuns != 0 {
+		t.Errorf("serial runner recorded %d parallel runs, want 0", st.ParallelRuns)
+	}
+	ncold := cold.SpeculationStats()
+	if ncold.ParallelRuns != int64(len(specs)) || ncold.Epochs != int64(4*len(specs)) {
+		t.Errorf("cold runner speculation %+v, want %d parallel runs / %d epochs",
+			ncold, len(specs), 4*len(specs))
+	}
+	// The warm Runner reuses the cold Runner's EpochSims (process-wide
+	// cache), whose recorded boundary predictions must all verify on a
+	// deterministic re-run: 3 commits per 4-epoch simulation, no rollbacks.
+	nwarm := warm.SpeculationStats()
+	if nwarm.ParallelRuns != int64(len(specs)) ||
+		nwarm.Commits != int64(3*len(specs)) || nwarm.Rollbacks != 0 {
+		t.Errorf("warm runner speculation %+v, want %d parallel runs / %d commits / 0 rollbacks",
+			nwarm, len(specs), 3*len(specs))
+	}
+}
+
+// TestSimJobsBudget: intra-sim workers come out of the shared Jobs budget.
+// A Runner with Jobs=1 has no slack (the simulation itself holds the only
+// slot), so SimJobs must silently fall back to the serial path; the same
+// request on a Jobs=4 Runner must go parallel.
+func TestSimJobsBudget(t *testing.T) {
+	const scale = 0.022
+	s := epochSpec(t, "gzip", schemeLRU)
+
+	starved := NewRunner(scale)
+	starved.Jobs = 1
+	starved.SimJobs = 4
+	want, err := starved.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := starved.SpeculationStats(); st != (SpeculationTotals{}) {
+		t.Errorf("Jobs=1 runner went parallel: %+v", st)
+	}
+
+	idle := NewRunner(scale)
+	idle.Jobs = 4
+	idle.SimJobs = 4
+	got, err := idle.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := idle.SpeculationStats(); st.ParallelRuns != 1 || st.Epochs != 4 {
+		t.Errorf("Jobs=4 runner speculation %+v, want 1 parallel run / 4 epochs", st)
+	}
+	if got != want {
+		t.Errorf("budget paths diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestGoldenFiguresParallel regenerates every figure with intra-sim
+// parallelism enabled and compares byte-for-byte against the same checked-in
+// goldens the serial sweep is held to: no figure may depend on which
+// execution path produced its numbers. During the saturated middle of the
+// sweep the budget keeps simulations serial; epoch-parallel runs engage on
+// the sweep's tail and on checkpoint-cache hits, so both paths (and their
+// mixture) are exercised against the goldens.
+func TestGoldenFiguresParallel(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	r := NewRunner(goldenScale)
+	r.Jobs = 4
+	r.SimJobs = 4
+	frs := r.All()
+	names := Names()
+	for i, fr := range frs {
+		got := fr.Render()
+		want, err := os.ReadFile(filepath.Join("testdata", names[i]+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", names[i], err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: epoch-parallel sweep diverged from golden\ngot:\n%s", names[i], got)
+		}
+	}
+}
+
+// TestSimJobsBaselineFallsBackSerial: the baseline scheme snapshots, but
+// every scheme must keep working under SimJobs regardless; this locks the
+// graceful path for any future non-checkpointable scheme configuration by
+// asserting equivalence holds for the remaining registry entries too.
+func TestSimJobsAllSchemes(t *testing.T) {
+	const scale = 0.023
+	for _, scheme := range []string{schemeBaseline, schemeXOM, schemeNoRepl, schemeMACOverlap} {
+		s := epochSpec(t, "vpr", scheme)
+		serial := NewRunner(scale)
+		serial.Jobs = 1
+		want, err := serial.Run(s)
+		if err != nil {
+			t.Fatalf("%s serial: %v", scheme, err)
+		}
+		par := NewRunner(scale)
+		par.Jobs = 4
+		par.SimJobs = 4
+		got, err := par.Run(s)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", scheme, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel result diverged:\n got %+v\nwant %+v", scheme, got, want)
+		}
+	}
+}

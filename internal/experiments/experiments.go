@@ -113,10 +113,19 @@ type Runner struct {
 	// ~200K references per benchmark). Warmup always runs in full.
 	Scale float64
 
-	// Jobs caps the number of simulations the sweep engine runs
-	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces the sequential
-	// path. Set it before the first figure request.
+	// Jobs caps the total worker budget: the number of simulations the
+	// sweep engine runs concurrently, and — shared with SimJobs — the
+	// slots a single simulation may borrow to parallelize internally.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path. Set it
+	// before the first figure request.
 	Jobs int
+
+	// SimJobs, when > 1, lets one simulation split its measured phase into
+	// SimJobs epochs and run them speculatively in parallel (sim.EpochSim)
+	// whenever the shared Jobs budget has idle slots — see epoch.go. The
+	// result is byte-identical to the serial run. 0 or 1 keeps every
+	// simulation serial. Set it before the first request.
+	SimJobs int
 
 	// Capacity bounds the result memo: once more than Capacity completed
 	// simulations are memoized, the least-recently-used ones are evicted.
@@ -146,6 +155,19 @@ type Runner struct {
 	// tolerance.
 	cache memo[runKey, sim.Result]
 	sims  atomic.Int64
+
+	// running counts in-flight simulations (each holds one implicit worker
+	// slot); borrowed counts extra slots claimed by epoch-parallel runs.
+	// Together they implement the shared worker budget — see epoch.go.
+	running  atomic.Int64
+	borrowed atomic.Int64
+
+	// Speculation totals across every epoch-parallel run (see epoch.go).
+	parallelRuns  atomic.Int64
+	specEpochs    atomic.Int64
+	specCommits   atomic.Int64
+	specRollbacks atomic.Int64
+	specResim     atomic.Int64
 
 	// traces memoizes materialized benchmark record sequences (see
 	// Runner.trace); independent latch domain from the result memo.

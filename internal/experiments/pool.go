@@ -81,6 +81,12 @@ func (r *Runner) resultErr(ctx context.Context, k runKey) (err error) {
 // checkpoint.go): the first simulation of a configuration warms up and
 // checkpoints the boundary state, later ones restore it and run only the
 // measured phase — event-for-event identical to the straight-through run.
+//
+// With SimJobs > 1 and slack in the shared worker budget, the measured
+// phase instead runs epoch-parallel through a cached sim.EpochSim (see
+// epoch.go); its Result is byte-identical to the serial path's, so the memo,
+// the persistent store and the goldens never see which path produced a
+// number.
 func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 	prof, ok := workload.ByName(k.bench)
 	if !ok {
@@ -94,15 +100,20 @@ func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
+	r.running.Add(1)
+	defer r.running.Add(-1)
+	warm := prof.WarmupRefs()
+	if warm > len(recs) {
+		warm = len(recs)
+	}
+	if res, ok, err := r.simulateParallel(k, cfg, recs, warm); ok || err != nil {
+		return res, err
+	}
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	r.sims.Add(1)
-	warm := prof.WarmupRefs()
-	if warm > len(recs) {
-		warm = len(recs)
-	}
 	if cp, ok := checkpoints.get(k); ok {
 		if sys.Restore(cp) == nil {
 			return sys.RunMeasured(workload.Replay(recs[warm:])), nil
@@ -113,6 +124,58 @@ func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 		checkpoints.put(k, cp)
 	}
 	return sys.RunMeasured(workload.Replay(recs[warm:])), nil
+}
+
+// simulateParallel attempts the epoch-parallel measured phase: it fires only
+// when the Runner grants intra-sim workers (SimJobs > 1) AND the shared
+// budget has at least one idle slot to borrow. ok=false means "run the
+// serial path" — either the feature is off, the budget is saturated, or the
+// scheme cannot checkpoint (EpochSim requires snapshottable, hashable
+// state). The speculation bookkeeping is folded into the Runner's totals and
+// stripped from the returned Result, which keeps every memoized/stored
+// Result a pure function of the configuration regardless of execution path.
+func (r *Runner) simulateParallel(k runKey, cfg sim.Config, recs []workload.Record, warm int) (res sim.Result, ok bool, err error) {
+	if r.SimJobs <= 1 {
+		return sim.Result{}, false, nil
+	}
+	extra := r.tryBorrow(r.SimJobs - 1)
+	if extra == 0 {
+		return sim.Result{}, false, nil
+	}
+	defer r.unborrow(extra)
+
+	key := r.epochKey(k, r.SimJobs)
+	es, cached := epochSims.get(key)
+	if !cached {
+		var eserr error
+		es, eserr = sim.NewEpochSim(cfg, r.SimJobs)
+		if eserr != nil {
+			return sim.Result{}, false, nil
+		}
+		epochSims.put(key, es)
+	}
+	cp, have := checkpoints.get(k)
+	if !have {
+		// Warm up once on a fresh system; the boundary checkpoint feeds the
+		// same process-wide cache serial forks use.
+		sys, nerr := sim.New(cfg)
+		if nerr != nil {
+			return sim.Result{}, false, nerr
+		}
+		sys.RunWarmup(workload.Replay(recs[:warm]))
+		if cp, have = sys.Checkpoint(); !have {
+			return sim.Result{}, false, nil
+		}
+		checkpoints.put(k, cp)
+	}
+	r.sims.Add(1)
+	res, err = es.RunMeasured(cp, recs[warm:], 1+extra)
+	if err != nil {
+		return sim.Result{}, false, err
+	}
+	r.recordSpeculation(res.Speculation)
+	res.Speculation = sim.SpecStats{}
+	return res, true, nil
 }
 
 // traceMemo returns the trace memo, initializing it on first use (see

@@ -24,6 +24,12 @@ type Config struct {
 	Scale float64
 	// Jobs caps concurrent simulations in sweep fan-out (0 = GOMAXPROCS).
 	Jobs int
+	// SimJobs, when > 1, lets a single simulation split its measured phase
+	// into that many speculative epochs whenever the shared Jobs budget has
+	// idle workers — cutting the latency of one uncached request without
+	// changing any result (see experiments.Runner.SimJobs). 0 or 1 keeps
+	// simulations serial.
+	SimJobs int
 	// Capacity bounds the result memo (LRU; 0 = unbounded). In-flight
 	// simulations are pinned and never evicted.
 	Capacity int
@@ -54,6 +60,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	r := experiments.NewRunner(cfg.Scale)
 	r.Jobs = cfg.Jobs
+	r.SimJobs = cfg.SimJobs
 	r.Capacity = cfg.Capacity
 	r.TraceCapacity = cfg.TraceCapacity
 	if cfg.StoreDir != "" {
@@ -296,6 +303,13 @@ type Metrics struct {
 	ResultStore *store.Stats `json:"result_store,omitempty"`
 	// Checkpoints exposes the process-wide post-warmup checkpoint cache.
 	Checkpoints experiments.CheckpointStats `json:"checkpoints"`
+	// Speculation aggregates the epoch-parallel bookkeeping across every
+	// simulation this runner dispatched wide (zero when SimJobs is off or
+	// the budget never had slack).
+	Speculation experiments.SpeculationTotals `json:"speculation"`
+	// EpochSims exposes the process-wide epoch-simulator cache backing the
+	// speculative runs.
+	EpochSims experiments.EpochCacheStats `json:"epoch_sims"`
 }
 
 // MetricsSnapshot assembles the current metrics (also used by tests).
@@ -322,6 +336,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 		TraceMemo:    s.runner.TraceStats(),
 		ResultStore:  storeStats,
 		Checkpoints:  experiments.CheckpointCacheStats(),
+		Speculation:  s.runner.SpeculationStats(),
+		EpochSims:    experiments.EpochSimCacheStats(),
 	}
 }
 

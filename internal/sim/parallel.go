@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"secureproc/internal/workload"
+)
+
+// This file implements optimistic epoch-parallel simulation: one measured
+// trace is cut into K contiguous epochs (workload.Slice) that are simulated
+// concurrently, each on its own worker System forked from a *predicted*
+// boundary checkpoint, in the style of optimistic parallel discrete-event
+// simulation over SMARTS-style checkpoints.
+//
+// The simulator is deterministic, so the only predictor that can be exactly
+// right is history: the predicted start state of epoch i is the actual end
+// state epoch i-1 produced the last time this EpochSim ran the same trace.
+// The first run therefore executes as a pipeline (each epoch waits for its
+// predecessor's true boundary) while recording every boundary; repeat runs
+// — a warm service answering the same /v1/run, a perf harness looping, a
+// sweep revisiting a config — fork all K epochs at once and verify.
+//
+// Verification is a state-hash comparison, not a full state diff: when
+// epoch i-1 finishes, its actual end-state fingerprint (Checkpoint.
+// StateHash, behavior-affecting state only) is compared against the
+// fingerprint of the state epoch i speculated from. Equal fingerprints
+// commit the speculative epoch's Result delta as-is; a mismatch rolls the
+// epoch back and re-simulates it from the true boundary state. Either way
+// the merged Result is byte-identical to a serial Run: per-epoch Results
+// are deltas of monotone counters over contiguous intervals (Result.Add),
+// intermediate epochs never Drain (in-flight misses cross boundaries inside
+// the checkpoints), and only the final epoch drains, exactly like the
+// serial run.
+
+// boundary carries one epoch's actual end state to its successor. A nil
+// checkpoint means the producing epoch failed and the chain must unwind.
+type boundary struct {
+	cp   *Checkpoint
+	hash uint64
+}
+
+// EpochSim is a reusable epoch-parallel executor for one machine
+// configuration. It owns K worker Systems and double-buffered boundary
+// checkpoints (predictions read by the current run, actuals written for the
+// next), so repeated runs are allocation-free in steady state. An EpochSim
+// runs one trace at a time; concurrent RunMeasured calls serialize on an
+// internal mutex. It is NOT safe to share the underlying Systems elsewhere.
+type EpochSim struct {
+	mu     sync.Mutex
+	cfg    Config
+	epochs int
+
+	// systems[i] is epoch i's private worker machine.
+	systems []*System
+	// pristine is the state of a freshly built System, restored into
+	// systems[0] before Run's warmup so every Run starts from reset.
+	pristine *Checkpoint
+	// startCP is Run's scratch for the post-warmup boundary.
+	startCP *Checkpoint
+
+	// pred[b] / predHash[b] (b in [1, epochs)) hold the predicted machine
+	// state at record boundary b — the actual boundary state of the
+	// previous run. next[b] / nextHash[b] receive this run's actuals; the
+	// two sets of buffers swap after every successful run so readers and
+	// writers never alias.
+	pred      []*Checkpoint
+	predHash  []uint64
+	predValid []bool
+	predLen   int // len(recs) the predictions were recorded against
+	next      []*Checkpoint
+	nextHash  []uint64
+
+	// Per-run scratch.
+	results []Result
+	spec    []SpecStats
+}
+
+// NewEpochSim builds an epoch-parallel executor that splits measured
+// streams into `epochs` epochs. It errors when the configuration is invalid
+// or the scheme cannot be checkpointed/fingerprinted (speculation would be
+// unverifiable); such configurations must run serially.
+func NewEpochSim(cfg Config, epochs int) (*EpochSim, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("sim: epoch count must be >= 1, got %d", epochs)
+	}
+	e := &EpochSim{
+		cfg:       cfg,
+		epochs:    epochs,
+		systems:   make([]*System, epochs),
+		pred:      make([]*Checkpoint, epochs),
+		predHash:  make([]uint64, epochs),
+		predValid: make([]bool, epochs),
+		next:      make([]*Checkpoint, epochs),
+		nextHash:  make([]uint64, epochs),
+		results:   make([]Result, epochs),
+		spec:      make([]SpecStats, epochs),
+	}
+	for i := range e.systems {
+		sys, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.systems[i] = sys
+	}
+	cp, ok := e.systems[0].Checkpoint()
+	if !ok {
+		return nil, fmt.Errorf("sim: scheme %s is not checkpointable; epoch-parallel simulation unavailable", cfg.Scheme.Canonical())
+	}
+	if _, ok := cp.StateHash(); !ok {
+		return nil, fmt.Errorf("sim: scheme %s state cannot be fingerprinted; epoch-parallel simulation unavailable", cfg.Scheme.Canonical())
+	}
+	e.pristine = cp
+	return e, nil
+}
+
+// Epochs returns the configured epoch count.
+func (e *EpochSim) Epochs() int { return e.epochs }
+
+// Run is the epoch-parallel counterpart of System.Run over a materialized
+// trace: the first warm records run serially as warmup (from reset state),
+// then the measured remainder runs epoch-parallel with up to `workers`
+// concurrent epochs. The Result (Speculation aside) is byte-identical to
+//
+//	sys, _ := New(cfg); sys.Run(workload.Replay(recs), warm)
+func (e *EpochSim) Run(recs []workload.Record, warm, workers int) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if warm < 0 {
+		warm = 0
+	}
+	if warm > len(recs) {
+		warm = len(recs)
+	}
+	sys := e.systems[0]
+	if err := sys.Restore(e.pristine); err != nil {
+		return Result{}, err
+	}
+	sys.RunWarmup(workload.Replay(recs[:warm]))
+	if e.startCP == nil {
+		e.startCP = &Checkpoint{}
+	}
+	sys.CheckpointInto(e.startCP)
+	return e.runMeasured(e.startCP, recs[warm:], workers)
+}
+
+// RunMeasured runs the measured stream epoch-parallel from a post-warmup
+// checkpoint, with up to `workers` epochs simulating concurrently. The
+// Result (Speculation aside) is byte-identical to restoring `start` into a
+// System and calling RunMeasured(workload.Replay(recs)). The caller keeps
+// ownership of start; it is never written.
+func (e *EpochSim) RunMeasured(start *Checkpoint, recs []workload.Record, workers int) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runMeasured(start, recs, workers)
+}
+
+func (e *EpochSim) runMeasured(start *Checkpoint, recs []workload.Record, workers int) (Result, error) {
+	if !compatible(e.cfg, start.cfg) {
+		return Result{}, fmt.Errorf("sim: checkpoint config mismatch (%s vs %s)",
+			start.cfg.Scheme.Canonical(), e.cfg.Scheme.Canonical())
+	}
+	k := e.epochs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > k {
+		workers = k
+	}
+	// Predictions recorded against a different trace length describe
+	// different record boundaries; drop them.
+	if e.predLen != len(recs) {
+		for b := range e.predValid {
+			e.predValid[b] = false
+		}
+	}
+	epochRecs := workload.Slice(recs, k)
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		done     = make([]chan boundary, k) // done[i]: epoch i's actual end state
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for i := 0; i < k-1; i++ {
+		done[i] = make(chan boundary, 1)
+	}
+	// endBoundary is what epoch i hands its successor after runEpoch
+	// captured its end state.
+	endBoundary := func(i int) boundary {
+		if i >= k-1 {
+			return boundary{}
+		}
+		return boundary{cp: e.next[i+1], hash: e.nextHash[i+1]}
+	}
+
+	worker := func(i int) {
+		defer wg.Done()
+		published := false
+		publish := func(b boundary) {
+			if i < k-1 && !published {
+				published = true
+				done[i] <- b
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				fail(fmt.Errorf("sim: epoch %d panicked: %v", i, r))
+				publish(boundary{})
+			}
+		}()
+
+		// Speculative attempt from the predicted boundary state.
+		var specRes Result
+		speculated := false
+		if i > 0 && e.predValid[i] {
+			sem <- struct{}{}
+			r, err := e.runEpoch(i, e.pred[i], epochRecs[i])
+			<-sem
+			if err == nil {
+				specRes, speculated = r, true
+			}
+		}
+
+		// Wait for the true boundary state from the predecessor.
+		var from *Checkpoint
+		var fromHash uint64
+		if i > 0 {
+			b := <-done[i-1]
+			from, fromHash = b.cp, b.hash
+			if from == nil {
+				publish(boundary{})
+				return
+			}
+		} else {
+			from = start
+		}
+
+		// Commit: the state we speculated from is the state that actually
+		// arrived, so the speculative result (and the end state already
+		// captured into e.next) is exact.
+		if speculated && fromHash == e.predHash[i] {
+			e.spec[i] = SpecStats{Commits: 1}
+			e.results[i] = specRes
+			publish(endBoundary(i))
+			return
+		}
+
+		// Serial leg (epoch 0, no prediction, or rollback after a miss):
+		// simulate from the true boundary state.
+		sem <- struct{}{}
+		r, err := e.runEpoch(i, from, epochRecs[i])
+		<-sem
+		if err != nil {
+			fail(err)
+			publish(boundary{})
+			return
+		}
+		if speculated {
+			e.spec[i] = SpecStats{Rollbacks: 1, ResimCycles: r.Cycles}
+		} else {
+			e.spec[i] = SpecStats{}
+		}
+		e.results[i] = r
+		publish(endBoundary(i))
+	}
+
+	for i := 0; i < k; i++ {
+		e.spec[i] = SpecStats{}
+		e.results[i] = Result{}
+		wg.Add(1)
+		go worker(i)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		// Some e.next entries may describe a half-finished run; nothing
+		// recorded this round is trustworthy as a prediction.
+		for b := range e.predValid {
+			e.predValid[b] = false
+		}
+		return Result{}, firstErr
+	}
+
+	// This run's actual boundaries become the next run's predictions.
+	e.pred, e.next = e.next, e.pred
+	e.predHash, e.nextHash = e.nextHash, e.predHash
+	for b := 1; b < k; b++ {
+		e.predValid[b] = true
+	}
+	e.predLen = len(recs)
+
+	total := e.results[0]
+	for i := 1; i < k; i++ {
+		total.Add(e.results[i])
+	}
+	total.Speculation.Epochs += uint64(k)
+	for i := range e.spec {
+		total.Speculation.Commits += e.spec[i].Commits
+		total.Speculation.Rollbacks += e.spec[i].Rollbacks
+		total.Speculation.ResimCycles += e.spec[i].ResimCycles
+	}
+	return total, nil
+}
+
+// runEpoch restores epoch i's worker system from a boundary state, steps
+// the epoch's records, and either drains (final epoch, exactly like the end
+// of a serial run) or captures the end state into e.next[i+1] for the
+// successor. Intermediate epochs never drain: in-flight misses cross the
+// boundary inside the checkpoint, as they do in a serial run.
+func (e *EpochSim) runEpoch(i int, from *Checkpoint, recs []workload.Record) (Result, error) {
+	ws := e.systems[i]
+	if err := ws.Restore(from); err != nil {
+		return Result{}, err
+	}
+	ws.BeginMeasurement()
+	for _, rec := range recs {
+		ws.step(rec)
+	}
+	if i == e.epochs-1 {
+		ws.cpu.Drain()
+	} else {
+		if e.next[i+1] == nil {
+			e.next[i+1] = &Checkpoint{}
+		}
+		ws.CheckpointInto(e.next[i+1])
+		h, ok := e.next[i+1].StateHash()
+		if !ok {
+			return Result{}, fmt.Errorf("sim: epoch %d produced an unfingerprintable state", i)
+		}
+		e.nextHash[i+1] = h
+	}
+	return ws.result(), nil
+}
+
+// RunParallel is the one-shot convenience form of epoch-parallel execution:
+// it builds an EpochSim with `workers` epochs and runs recs through it
+// (warmup + measured), returning a Result byte-identical (Speculation
+// aside) to a serial System.Run of the same trace. Because predictions come
+// from history, a one-shot call executes as a verification pipeline rather
+// than achieving full overlap — callers that run the same trace repeatedly
+// should hold on to an EpochSim (as experiments.Runner does) so later runs
+// commit all epochs in parallel.
+func RunParallel(cfg Config, recs []workload.Record, warm, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	es, err := NewEpochSim(cfg, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	return es.Run(recs, warm, workers)
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+
+	"secureproc/internal/workload"
+)
+
+// parallelTrace materializes a reduced-scale benchmark trace plus its
+// warmup boundary.
+func parallelTrace(t *testing.T, bench string, scale float64) ([]workload.Record, int) {
+	t.Helper()
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	recs, err := workload.Materialize(prof, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := prof.WarmupRefs()
+	if warm > len(recs) {
+		warm = len(recs)
+	}
+	return recs, warm
+}
+
+// stripSpec zeroes the speculation bookkeeping so timing results can be
+// compared byte-for-byte against serial runs.
+func stripSpec(r Result) Result {
+	r.Speculation = SpecStats{}
+	return r
+}
+
+// TestRunParallelMatchesRun is the tentpole equivalence property: for every
+// registered scheme, across benchmarks and epoch counts, epoch-parallel
+// execution must produce the byte-identical Result of a serial Run — on the
+// cold first run (pipeline + record), and again on the warm second run
+// (speculate + commit), which must commit every prediction since the
+// simulator is deterministic.
+func TestRunParallelMatchesRun(t *testing.T) {
+	for _, bench := range []string{"mcf", "gzip"} {
+		recs, warm := parallelTrace(t, bench, 0.02)
+		for _, ref := range snapshotSchemes {
+			serial := newCheckpointSystem(t, ref)
+			want := serial.Run(workload.Replay(recs), warm)
+			for _, k := range []int{1, 2, 4} {
+				cfg := DefaultConfig()
+				cfg.Scheme = ref
+				es, err := NewEpochSim(cfg, k)
+				if err != nil {
+					t.Fatalf("%s/%s k=%d: %v", bench, ref.Name, k, err)
+				}
+				cold, err := es.Run(recs, warm, k)
+				if err != nil {
+					t.Fatalf("%s/%s k=%d cold: %v", bench, ref.Name, k, err)
+				}
+				if stripSpec(cold) != want {
+					t.Errorf("%s/%s k=%d: cold parallel run diverged:\n got %+v\nwant %+v",
+						bench, ref.Name, k, stripSpec(cold), want)
+				}
+				if cold.Speculation.Epochs != uint64(k) {
+					t.Errorf("%s/%s k=%d: cold run reports %d epochs", bench, ref.Name, k, cold.Speculation.Epochs)
+				}
+				warmRun, err := es.Run(recs, warm, k)
+				if err != nil {
+					t.Fatalf("%s/%s k=%d warm: %v", bench, ref.Name, k, err)
+				}
+				if stripSpec(warmRun) != want {
+					t.Errorf("%s/%s k=%d: warm parallel run diverged:\n got %+v\nwant %+v",
+						bench, ref.Name, k, stripSpec(warmRun), want)
+				}
+				// Deterministic simulation: every recorded prediction must
+				// verify, so the warm run commits all k-1 speculative epochs.
+				if got := warmRun.Speculation; got.Commits != uint64(k-1) || got.Rollbacks != 0 {
+					t.Errorf("%s/%s k=%d: warm run speculation %+v, want %d commits / 0 rollbacks",
+						bench, ref.Name, k, got, k-1)
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelForcedMispredict proves the rollback path executes and
+// still converges: corrupt the recorded predictions (swap two boundary
+// states, keeping each self-consistent with its hash) and re-run. The
+// poisoned epochs must detect the mismatch, re-simulate from the true
+// boundary state, and the merged Result must still be byte-identical.
+func TestRunParallelForcedMispredict(t *testing.T) {
+	recs, warm := parallelTrace(t, "mcf", 0.02)
+	const k = 4
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeOTPLRU
+	es, err := NewEpochSim(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := es.Run(recs, warm, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the predictions for boundaries 1 and 2: each is a valid state
+	// with a matching hash, but of the wrong boundary, so both epochs 1 and
+	// 2 speculate from wrong states and must roll back. Epoch 3's
+	// prediction is untouched and must still commit (its predecessor's
+	// rollback re-converges onto the recorded boundary).
+	es.pred[1], es.pred[2] = es.pred[2], es.pred[1]
+	es.predHash[1], es.predHash[2] = es.predHash[2], es.predHash[1]
+
+	got, err := es.Run(recs, warm, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripSpec(got) != stripSpec(want) {
+		t.Errorf("mispredicted run diverged:\n got %+v\nwant %+v", stripSpec(got), stripSpec(want))
+	}
+	if got.Speculation.Rollbacks != 2 || got.Speculation.Commits != 1 {
+		t.Errorf("speculation %+v, want 2 rollbacks / 1 commit", got.Speculation)
+	}
+	if got.Speculation.ResimCycles == 0 {
+		t.Error("rollbacks re-simulated zero cycles")
+	}
+
+	// The poisoned run re-recorded correct boundaries; the next run must be
+	// all commits again.
+	again, err := es.Run(recs, warm, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripSpec(again) != stripSpec(want) {
+		t.Errorf("post-rollback run diverged:\n got %+v\nwant %+v", stripSpec(again), stripSpec(want))
+	}
+	if got := again.Speculation; got.Commits != k-1 || got.Rollbacks != 0 {
+		t.Errorf("post-rollback speculation %+v, want %d commits / 0 rollbacks", got, k-1)
+	}
+}
+
+// TestEpochWarmupAccounting locks the warmup/measure boundary against
+// off-by-one drift when epochs are introduced: for every warmup split —
+// including the degenerate all-warmup and no-warmup cases — the
+// epoch-parallel run must attribute exactly the same Retired/Cycles to the
+// measured interval as a straight-through serial run.
+func TestEpochWarmupAccounting(t *testing.T) {
+	recs, _ := parallelTrace(t, "gzip", 0.02)
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeOTPLRU
+	es, err := NewEpochSim(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, warm := range []int{0, 1, len(recs) / 2, len(recs)} {
+		serial := newCheckpointSystem(t, SchemeOTPLRU)
+		want := serial.Run(workload.Replay(recs), warm)
+		got, err := es.Run(recs, warm, 2)
+		if err != nil {
+			t.Fatalf("warm=%d: %v", warm, err)
+		}
+		if got.Cycles != want.Cycles || got.Instructions != want.Instructions {
+			t.Errorf("warm=%d: measured attribution diverged: got %d cycles / %d instrs, want %d / %d",
+				warm, got.Cycles, got.Instructions, want.Cycles, want.Instructions)
+		}
+		if stripSpec(got) != want {
+			t.Errorf("warm=%d: full result diverged:\n got %+v\nwant %+v", warm, stripSpec(got), want)
+		}
+	}
+}
+
+// TestRunParallelEmptyMeasured: an all-warmup trace leaves every epoch
+// empty; the chain must still run through and report the serial (zero)
+// measurement.
+func TestRunParallelEmptyMeasured(t *testing.T) {
+	recs, _ := parallelTrace(t, "gzip", 0.02)
+	serial := newCheckpointSystem(t, SchemeOTPLRU)
+	want := serial.Run(workload.Replay(recs), len(recs))
+	got, err := RunParallel(DefaultConfigFor(SchemeOTPLRU), recs, len(recs), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripSpec(got) != want {
+		t.Errorf("empty-measured parallel run diverged:\n got %+v\nwant %+v", stripSpec(got), want)
+	}
+}
+
+// DefaultConfigFor is a test convenience: the default machine with ref.
+func DefaultConfigFor(ref SchemeRef) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = ref
+	return cfg
+}
+
+// TestCheckpointIntoSteadyStateAllocsZero extends the AllocsPerRun==0
+// discipline to boundary snapshots: once a checkpoint's buffers have seen
+// the working set, re-capturing into it — and hashing it — allocates
+// nothing. This is what keeps per-epoch boundary checkpoints off the
+// allocator in steady state.
+func TestCheckpointIntoSteadyStateAllocsZero(t *testing.T) {
+	recs := allocRecords()
+	for _, ref := range []SchemeRef{SchemeOTPLRU, SchemeOTPMAC, SchemeOTPPrecompute} {
+		t.Run(ref.Name, func(t *testing.T) {
+			sys := newCheckpointSystem(t, ref)
+			for pass := 0; pass < 2; pass++ {
+				for _, rec := range recs {
+					sys.Step(rec)
+				}
+			}
+			cp := &Checkpoint{}
+			if !sys.CheckpointInto(cp) {
+				t.Fatal("no checkpoint")
+			}
+			if _, ok := cp.StateHash(); !ok {
+				t.Fatal("state not fingerprintable")
+			}
+			i := 0
+			avg := testing.AllocsPerRun(10, func() {
+				// Keep mutating between captures so the capture is not
+				// trivially idempotent, then re-capture and re-hash.
+				for k := 0; k < 64; k++ {
+					sys.Step(recs[i%len(recs)])
+					i++
+				}
+				if !sys.CheckpointInto(cp) {
+					t.Fatal("no checkpoint")
+				}
+				if _, ok := cp.StateHash(); !ok {
+					t.Fatal("state not fingerprintable")
+				}
+			})
+			if avg != 0 {
+				t.Errorf("scheme %s: %.2f allocs per steady-state CheckpointInto+StateHash, want 0", ref.Name, avg)
+			}
+		})
+	}
+}
+
+// TestCheckpointStateHashDiscriminates: equal states hash equal (the commit
+// rule) and a state a few steps later hashes differently (the rollback
+// rule would be vacuous otherwise).
+func TestCheckpointStateHashDiscriminates(t *testing.T) {
+	recs := allocRecords()
+	sys := newCheckpointSystem(t, SchemeOTPLRU)
+	for _, rec := range recs[:4096] {
+		sys.Step(rec)
+	}
+	cp1 := &Checkpoint{}
+	cp2 := &Checkpoint{}
+	sys.CheckpointInto(cp1)
+	sys.CheckpointInto(cp2)
+	h1, ok1 := cp1.StateHash()
+	h2, ok2 := cp2.StateHash()
+	if !ok1 || !ok2 {
+		t.Fatal("state not fingerprintable")
+	}
+	if h1 != h2 {
+		t.Errorf("identical states hash differently: %x vs %x", h1, h2)
+	}
+	sys.Step(recs[4096])
+	sys.CheckpointInto(cp2)
+	h3, _ := cp2.StateHash()
+	if h3 == h1 {
+		t.Errorf("distinct states hash equal: %x", h1)
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fillCounters sets every uint64 field of v (recursing into embedded
+// structs) to a distinct pseudorandom value and returns the per-field
+// values in walk order.
+func fillCounters(v reflect.Value, rng *rand.Rand, out []uint64) []uint64 {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			x := rng.Uint64() >> 2 // headroom: sums must not wrap
+			f.SetUint(x)
+			out = append(out, x)
+		case reflect.Struct:
+			out = fillCounters(f, rng, out)
+		case reflect.String:
+			// Scheme: identity, not a counter.
+		default:
+			// A new field of an unexpected kind must be audited by hand.
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// readCounters collects every uint64 field in the same walk order.
+func readCounters(v reflect.Value, out []uint64) []uint64 {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			out = append(out, f.Uint())
+		case reflect.Struct:
+			out = readCounters(f, out)
+		}
+	}
+	return out
+}
+
+// TestResultAddCoversEveryField audits the per-epoch delta merge by
+// reflection: every uint64 counter in Result (including nested SpecStats)
+// must be summed by Add. A future Result field that Add forgets shows up
+// here as an unsummed counter instead of silently corrupting epoch-parallel
+// totals.
+func TestResultAddCoversEveryField(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b Result
+	av := fillCounters(reflect.ValueOf(&a).Elem(), rng, nil)
+	bv := fillCounters(reflect.ValueOf(&b).Elem(), rng, nil)
+	if len(av) == 0 || len(av) != len(bv) {
+		t.Fatalf("counter walk inconsistent: %d vs %d fields", len(av), len(bv))
+	}
+	a.Scheme = "x"
+	b.Scheme = "y"
+
+	got := a
+	got.Add(b)
+	sums := readCounters(reflect.ValueOf(&got).Elem(), nil)
+	if len(sums) != len(av) {
+		t.Fatalf("walk returned %d fields, want %d", len(sums), len(av))
+	}
+	// Recover field names for readable failures.
+	names := counterNames(reflect.TypeOf(Result{}), "", nil)
+	if len(names) != len(sums) {
+		t.Fatalf("name walk returned %d fields, want %d", len(names), len(sums))
+	}
+	for i := range sums {
+		if want := av[i] + bv[i]; sums[i] != want {
+			t.Errorf("Add does not sum %s: got %d, want %d", names[i], sums[i], want)
+		}
+	}
+	if got.Scheme != "x" {
+		t.Errorf("Add overwrote Scheme: %q", got.Scheme)
+	}
+	var empty Result
+	empty.Add(b)
+	if empty.Scheme != "y" {
+		t.Errorf("Add into empty Result dropped Scheme: %q", empty.Scheme)
+	}
+}
+
+func counterNames(t reflect.Type, prefix string, out []string) []string {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			out = append(out, prefix+f.Name)
+		case reflect.Struct:
+			out = counterNames(f.Type, prefix+f.Name+".", out)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package statehash provides a tiny deterministic word-stream hasher used
+// to fingerprint simulator state at epoch boundaries (optimistic parallel
+// simulation commits an epoch when the state it speculated from hashes
+// identically to the state the previous epoch actually produced).
+//
+// The hash is FNV-1a lifted from bytes to 64-bit words: quality is far more
+// than adequate for comparing deterministic machine states against each
+// other (the inputs are never adversarial), and hashing word-at-a-time
+// keeps a multi-megabyte checkpoint fingerprint in the microsecond range.
+// It is an in-process, run-to-run-stable identity — never persist it.
+package statehash
+
+const (
+	offset64 = 0xcbf29ce484222325
+	prime64  = 0x100000001b3
+)
+
+// Hash accumulates a word stream. The zero value is NOT ready to use;
+// start from New.
+type Hash uint64
+
+// New returns a hasher seeded with the FNV-1a offset basis.
+func New() Hash { return offset64 }
+
+// Word folds one 64-bit word into the state.
+func (h *Hash) Word(v uint64) { *h = (*h ^ Hash(v)) * prime64 }
+
+// U32 folds a 32-bit value.
+func (h *Hash) U32(v uint32) { h.Word(uint64(v)) }
+
+// U16 folds a 16-bit value.
+func (h *Hash) U16(v uint16) { h.Word(uint64(v)) }
+
+// Int folds an int.
+func (h *Hash) Int(v int) { h.Word(uint64(v)) }
+
+// I32 folds an int32.
+func (h *Hash) I32(v int32) { h.Word(uint64(v)) }
+
+// Bool folds a bool.
+func (h *Hash) Bool(v bool) {
+	if v {
+		h.Word(1)
+	} else {
+		h.Word(0)
+	}
+}
+
+// Words folds a whole slice, length first (so concatenations of different
+// shapes cannot alias).
+func (h *Hash) Words(vs []uint64) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.Word(v)
+	}
+}
+
+// Sum returns the accumulated fingerprint.
+func (h Hash) Sum() uint64 { return uint64(h) }
