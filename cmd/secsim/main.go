@@ -5,7 +5,7 @@
 //
 //	secsim [-bench mcf] [-scheme snc-lru] [-scale 1.0] [-snc 64] [-ways 0]
 //	       [-crypto 50] [-l2 256] [-l2ways 4] [-compare] [-jobs N]
-//	       [-simjobs K] [-seq] [-store DIR] [-list]
+//	       [-simjobs K|auto] [-seq] [-stream] [-store DIR] [-list]
 //	secsim -multi mcf,gzip [-quantum 100000] [-switch flush|pid] [...]
 //	secsim -perf [-perfout BENCH.json]
 //	secsim -perfcmp base.json,cur.json [-perftol 0.10]
@@ -18,9 +18,13 @@
 // and print in deterministic order. With -simjobs K > 1, a single
 // simulation may additionally split its measured phase into K speculative
 // epochs and run them on idle -jobs slots (optimistic epoch-parallel
-// simulation over checkpoints); results are byte-identical to serial runs
-// and a speculation summary is printed on stderr when the machinery
-// engages. With -compare, every registered scheme
+// simulation over checkpoints); "-simjobs auto" sizes the split from
+// observed idle slots instead of a fixed K. Results are byte-identical to
+// serial runs and a speculation summary is printed on stderr when the
+// machinery engages. With -stream, each benchmark's result prints as an
+// NDJSON line on stdout the moment its simulation completes (completion
+// order, not request order) instead of a buffered report — incompatible
+// with -compare and -multi. With -compare, every registered scheme
 // runs per benchmark and a slowdown summary is printed (one benchmark's
 // slice of the paper's Figure 5, extended to the full registry).
 //
@@ -47,6 +51,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -162,8 +167,9 @@ func main() {
 	perfCmp := flag.String("perfcmp", "", "compare two perf snapshots \"base.json,cur.json\"; exit 1 on regression")
 	perfTol := flag.Float64("perftol", 0.10, "ns/op regression tolerance for -perfcmp (fraction)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	simJobs := flag.Int("simjobs", 0, "epochs one simulation may run speculatively in parallel on idle -jobs slots (0/1 = serial)")
+	simJobs := flag.String("simjobs", "0", `epochs one simulation may run speculatively in parallel on idle -jobs slots (0/1 = serial, "auto" = size from idle slots)`)
 	seq := flag.Bool("seq", false, "run simulations sequentially (same as -jobs 1)")
+	streamOut := flag.Bool("stream", false, "print each result as an NDJSON line the moment it completes")
 	storeDir := flag.String("store", "", "persist results in this directory across runs (empty = off)")
 	list := flag.Bool("list", false, "list registered schemes and benchmarks, then exit")
 	listBench := flag.Bool("listbench", false, "list benchmarks and exit")
@@ -221,6 +227,9 @@ func main() {
 		}
 		return
 	}
+	if *streamOut && (*compare || *multi != "") {
+		fatal(fmt.Errorf("-stream streams per-benchmark sweep results; it is incompatible with -compare and -multi"))
+	}
 	if *multi != "" {
 		runMulti(*multi, *scheme, *switchPolicy, switchSet, *quantum, *scale, *sncKB, *ways, *crypto, *l2, *l2ways)
 		return
@@ -229,9 +238,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sj, err := experiments.ParseSimJobs(*simJobs)
+	if err != nil {
+		fatal(err)
+	}
 	runner := experiments.NewRunner(*scale)
 	runner.Jobs = *jobs
-	runner.SimJobs = *simJobs
+	runner.SimJobs = sj
 	if *seq {
 		runner.Jobs = 1
 	}
@@ -304,6 +317,28 @@ func main() {
 	specs := make([]experiments.Spec, len(benches))
 	for i, b := range benches {
 		specs[i] = mkSpec(b, ref)
+	}
+	if *streamOut {
+		// One NDJSON line per completed simulation, in completion order;
+		// index maps each line back to the -bench list.
+		enc := json.NewEncoder(os.Stdout)
+		err := runner.SweepEach(context.Background(), specs, func(i int, res sim.Result, err error) {
+			line := map[string]any{"index": i, "bench": specs[i].Bench}
+			if err != nil {
+				line["error"] = err.Error()
+			} else {
+				line["result"] = res
+			}
+			enc.Encode(line) //nolint:errcheck // stdout
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printSpeculation(runner)
+		if len(benches) > 1 {
+			fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs)\n", runner.Simulations(), time.Since(start).Seconds())
+		}
+		return
 	}
 	if err := runner.Sweep(context.Background(), specs); err != nil {
 		fatal(err)

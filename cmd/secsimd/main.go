@@ -6,13 +6,27 @@
 //
 // Usage:
 //
-//	secsimd [-addr :8080] [-scale 1.0] [-jobs N] [-simjobs K]
+//	secsimd [-addr :8080] [-scale 1.0] [-jobs N] [-simjobs K|auto]
 //	        [-memo-capacity 0] [-trace-capacity 0] [-drain 30s]
-//	        [-store DIR]
+//	        [-store DIR] [-maxadmit 0] [-stream]
 //
 // With -simjobs K > 1, a single uncached simulation may split its measured
 // phase into K speculative epochs and run them on idle -jobs slots (see
 // /metrics "speculation"); results are byte-identical to serial runs.
+// "-simjobs auto" sizes the split from observed idle slots instead of a
+// fixed K.
+//
+// With -maxadmit N > 0, at most N simulation requests (/v1/run, /v1/sweep,
+// /v1/figures) are admitted concurrently; request N+1 is rejected
+// immediately with 429 and a Retry-After estimate instead of queueing
+// unboundedly. Admitted work is scheduled weighted-fair per client
+// (X-Client-ID header, else remote host), so one bulk sweep cannot starve
+// interactive /v1/run calls.
+//
+// With -stream, /v1/sweep answers as an NDJSON stream by default — one
+// line per result the moment its simulation lands, then a trailer.
+// Individual requests opt in or out with the "stream" field or an
+// "Accept: application/x-ndjson" header regardless of the flag.
 //
 // With -store, completed simulation results are persisted under DIR (keyed
 // by run configuration and the timing-model version) and survive restarts:
@@ -44,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"secureproc/internal/experiments"
 	"secureproc/internal/server"
 )
 
@@ -51,20 +66,28 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.Float64("scale", 1.0, "workload scale for every simulation")
 	jobs := flag.Int("jobs", 0, "concurrent simulations in sweep fan-out (0 = GOMAXPROCS)")
-	simJobs := flag.Int("simjobs", 0, "epochs one simulation may run speculatively in parallel on idle -jobs slots (0/1 = serial)")
+	simJobs := flag.String("simjobs", "0", `epochs one simulation may run speculatively in parallel on idle -jobs slots (0/1 = serial, "auto" = size from idle slots)`)
 	capacity := flag.Int("memo-capacity", 0, "result-memo LRU capacity in entries (0 = unbounded)")
 	traceCap := flag.Int("trace-capacity", 0, "materialized-trace memo LRU capacity (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	storeDir := flag.String("store", "", "persist results in this directory across restarts (empty = off)")
+	maxAdmit := flag.Int("maxadmit", 0, "concurrently admitted simulation requests before 429 + Retry-After (0 = unbounded)")
+	stream := flag.Bool("stream", false, "stream /v1/sweep results as NDJSON by default")
 	flag.Parse()
 
+	sj, err := experiments.ParseSimJobs(*simJobs)
+	if err != nil {
+		log.Fatalf("secsimd: %v", err)
+	}
 	srv, err := server.New(server.Config{
 		Scale:         *scale,
 		Jobs:          *jobs,
-		SimJobs:       *simJobs,
+		SimJobs:       sj,
 		Capacity:      *capacity,
 		TraceCapacity: *traceCap,
 		StoreDir:      *storeDir,
+		MaxAdmit:      *maxAdmit,
+		Stream:        *stream,
 	})
 	if err != nil {
 		log.Fatalf("secsimd: %v", err)
@@ -80,8 +103,8 @@ func main() {
 	if *storeDir != "" {
 		storeNote = *storeDir
 	}
-	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, simjobs %d, memo capacity %d, trace capacity %d, store %s)",
-		*addr, *scale, *jobs, *simJobs, *capacity, *traceCap, storeNote)
+	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, simjobs %s, memo capacity %d, trace capacity %d, store %s, maxadmit %d, stream %v)",
+		*addr, *scale, *jobs, *simJobs, *capacity, *traceCap, storeNote, *maxAdmit, *stream)
 
 	select {
 	case err := <-errc:

@@ -10,15 +10,15 @@ package experiments
 // through sim.EpochSim, which speculates later epochs from recorded boundary
 // predictions and verifies before committing (see internal/sim/parallel.go).
 //
-// The two levels share one budget: Runner.Jobs is the total worker count,
-// and a simulation may only go wide on slack. Each in-flight simulation
-// holds one implicit slot (the goroutine running it); extra intra-sim
-// workers are borrowed from jobs() − running − borrowed via a lock-free CAS
-// loop, and returned when the run finishes. A saturated sweep therefore
-// degrades to today's one-worker-per-simulation behaviour, while a lone
-// request on an idle Runner fans out across the machine. Borrowing never
-// blocks and never over-commits, so no interleaving of sweeps and single
-// runs can deadlock or oversubscribe.
+// The two levels share one budget — dispatch.Budget, the same ledger the
+// weighted-fair dispatcher schedules sweep jobs against. Each in-flight
+// simulation holds one slot (the goroutine running it); extra intra-sim
+// workers are drawn from the budget's slack just in time, one epoch leg at
+// a time (sim.EpochSim.RunMeasuredBudget), and returned the moment the leg
+// finishes. A saturated sweep therefore degrades to one-worker-per-
+// simulation behaviour, while a lone request on an idle Runner fans out
+// across the machine. Drawing never blocks and never over-commits, so no
+// interleaving of sweeps and single runs can deadlock or oversubscribe.
 
 import (
 	"strconv"
@@ -169,37 +169,43 @@ func (c *epochSimCache) stats() EpochCacheStats {
 // EpochSimCacheStats snapshots the process-wide EpochSim cache counters.
 func EpochSimCacheStats() EpochCacheStats { return epochSims.stats() }
 
-// tryBorrow claims up to want extra worker slots from the Runner's shared
-// budget (jobs() minus slots held by in-flight simulations minus slots
-// already borrowed). It returns how many it got — possibly zero — and never
-// blocks: a simulation that cannot go wide right now runs serially rather
-// than waiting for slack that sweep workers may never release.
-func (r *Runner) tryBorrow(want int) int {
-	if want <= 0 {
-		return 0
-	}
-	budget := int64(r.jobs())
-	for {
-		cur := r.borrowed.Load()
-		avail := budget - r.running.Load() - cur
-		if avail <= 0 {
-			return 0
-		}
-		n := int64(want)
-		if n > avail {
-			n = avail
-		}
-		if r.borrowed.CompareAndSwap(cur, cur+n) {
-			return int(n)
-		}
-	}
-}
+// SimJobsAuto, assigned to Runner.SimJobs, sizes each simulation's epoch
+// count adaptively from the shared budget's observed slack at launch
+// instead of a fixed K: a lone request on an idle 8-slot Runner splits 8
+// ways, the same request arriving while a sweep saturates the budget runs
+// serially, and anything between gets what is actually idle.
+const SimJobsAuto = -1
 
-// unborrow returns slots claimed by tryBorrow.
-func (r *Runner) unborrow(n int) {
-	if n > 0 {
-		r.borrowed.Add(int64(-n))
+// maxAdaptiveEpochs caps the adaptive split. Epoch legs shorten as K
+// grows (diminishing returns) while every K seen materializes its own
+// EpochSim (K systems + boundary checkpoints) in the process-wide cache,
+// so an adaptive Runner on a very wide machine stops at a split that
+// still pays for itself.
+const maxAdaptiveEpochs = 8
+
+// epochCount resolves how many epochs simulateParallel should split the
+// measured phase into right now: 1 (serial) when intra-sim parallelism is
+// off or the budget has no idle slot — speculation without a second
+// worker is pure overhead — else the static SimJobs setting, or under
+// SimJobsAuto one epoch per idle slot plus the caller's own. The slack
+// read is advisory: legs re-check the budget as they run, so a stale
+// answer only costs speculation efficiency, never correctness.
+func (r *Runner) epochCount() int {
+	if r.SimJobs != SimJobsAuto && r.SimJobs <= 1 {
+		return 1
 	}
+	slack := r.bud().Slack()
+	if slack < 1 {
+		return 1
+	}
+	if r.SimJobs != SimJobsAuto {
+		return r.SimJobs
+	}
+	k := 1 + slack
+	if k > maxAdaptiveEpochs {
+		k = maxAdaptiveEpochs
+	}
+	return k
 }
 
 // SpeculationTotals aggregates the speculation bookkeeping across every

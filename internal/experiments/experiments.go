@@ -6,8 +6,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"secureproc/internal/dispatch"
 	"secureproc/internal/sim"
 	"secureproc/internal/stats"
 	"secureproc/internal/store"
@@ -123,8 +125,10 @@ type Runner struct {
 	// SimJobs, when > 1, lets one simulation split its measured phase into
 	// SimJobs epochs and run them speculatively in parallel (sim.EpochSim)
 	// whenever the shared Jobs budget has idle slots — see epoch.go. The
-	// result is byte-identical to the serial run. 0 or 1 keeps every
-	// simulation serial. Set it before the first request.
+	// result is byte-identical to the serial run. SimJobsAuto (-1) sizes
+	// the epoch count adaptively from the budget's observed slack instead
+	// of a fixed K. 0 or 1 keeps every simulation serial. Set it before the
+	// first request.
 	SimJobs int
 
 	// Capacity bounds the result memo: once more than Capacity completed
@@ -156,11 +160,17 @@ type Runner struct {
 	cache memo[runKey, sim.Result]
 	sims  atomic.Int64
 
-	// running counts in-flight simulations (each holds one implicit worker
-	// slot); borrowed counts extra slots claimed by epoch-parallel runs.
-	// Together they implement the shared worker budget — see epoch.go.
-	running  atomic.Int64
-	borrowed atomic.Int64
+	// budget is the shared worker-slot ledger (cap = jobs()): every
+	// in-flight simulation holds one slot, and epoch-parallel runs draw
+	// their extra workers from the slack — see epoch.go. Embedded by value
+	// (two atomics) so the sequential path pays nothing for it.
+	budget dispatch.Budget
+
+	// disp is the weighted-fair dispatcher behind SweepEach and
+	// RunDispatched, built lazily on first dispatch so batch sweeps (the
+	// figure goldens, the perf harness) never construct it.
+	dispOnce sync.Once
+	disp     *dispatch.Dispatcher
 
 	// Speculation totals across every epoch-parallel run (see epoch.go).
 	parallelRuns  atomic.Int64
@@ -208,7 +218,7 @@ func (r *Runner) config(k runKey) (sim.Config, error) {
 // valid benchmarks and configurations, so an error here is a programming
 // bug and panics as before.
 func (r *Runner) run(k runKey) sim.Result {
-	res, err := r.result(context.Background(), k)
+	res, err := r.result(context.Background(), k, false)
 	if err != nil {
 		panic(err)
 	}

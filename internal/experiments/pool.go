@@ -3,20 +3,24 @@ package experiments
 // This file is the concurrent sweep engine behind the figures and the
 // secsimd service: a singleflight-style memo (per-key latches, so
 // concurrent requests for the same configuration block on one simulation
-// instead of racing or double-computing) plus a context-aware worker pool
-// that fans a list of runKeys out over up to Runner.Jobs goroutines. Every
-// simulation builds its own sim.System, workload stream and RNG, so
-// workers share nothing but the memo. The memo mechanics (coalescing,
-// cancellation, LRU eviction, panic recording) live in memo.go.
+// instead of racing or double-computing) fed by the dispatch layer's
+// weighted-fair scheduler, which fans runKeys out over the shared worker
+// budget (Runner.Jobs slots). Every simulation builds its own sim.System,
+// workload stream and RNG, so concurrent jobs share nothing but the memo.
+// The memo mechanics (coalescing, cancellation, LRU eviction, panic
+// recording) live in memo.go; the scheduling mechanics (budget, fairness,
+// admission) live in internal/dispatch.
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
 	"secureproc/internal/core"
+	"secureproc/internal/dispatch"
 	"secureproc/internal/sim"
 	"secureproc/internal/workload"
 )
@@ -37,7 +41,11 @@ func (r *Runner) results() *memo[runKey, sim.Result] {
 // miss consults the store before simulating and a fresh simulation is
 // spilled back to it — errored computations are dropped by the memo and
 // never reach the store.
-func (r *Runner) result(ctx context.Context, k runKey) (sim.Result, error) {
+//
+// held reports whether the caller already holds one slot of the shared
+// worker budget (a dispatcher job does; a direct library call does not),
+// so the simulation charges the budget exactly once either way.
+func (r *Runner) result(ctx context.Context, k runKey, held bool) (sim.Result, error) {
 	return r.results().do(ctx, k, func() (sim.Result, error) {
 		if r.Store != nil {
 			var res sim.Result
@@ -50,7 +58,7 @@ func (r *Runner) result(ctx context.Context, k runKey) (sim.Result, error) {
 		// the caller's ctx flowed in here, an owner coalescing onto an
 		// in-flight trace could record its own timeout as the entry's
 		// permanent error, poisoning the spec for every future request.
-		res, err := r.simulate(context.Background(), k)
+		res, err := r.simulate(context.Background(), k, held)
 		if err == nil && r.Store != nil {
 			r.Store.Save(r.storeKey(k), res)
 		}
@@ -58,18 +66,24 @@ func (r *Runner) result(ctx context.Context, k runKey) (sim.Result, error) {
 	})
 }
 
-// resultErr is result for the sweep pool: a re-raised simulation panic is
-// converted into an error (the memo has already recorded it as the entry's
-// error) so one poisoned key fails the sweep instead of killing the
-// process — essential for the long-lived server, where sweep workers run
-// in goroutines no HTTP-layer recover can reach.
-func (r *Runner) resultErr(ctx context.Context, k runKey) (err error) {
+// resultSafe is result with the long-lived service's panic containment: a
+// re-raised simulation panic is converted into an error (the memo has
+// already recorded it as the entry's error) so one poisoned key fails its
+// own job instead of killing the process — essential for secsimd, where
+// dispatched jobs run in goroutines no HTTP-layer recover can reach.
+func (r *Runner) resultSafe(ctx context.Context, k runKey, held bool) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("experiments: simulation %s/%s panicked: %v", k.bench, k.scheme, p)
 		}
 	}()
-	_, err = r.result(ctx, k)
+	return r.result(ctx, k, held)
+}
+
+// resultErr is resultSafe for callers that run on their own goroutine
+// (the sequential sweep loop) and only need the outcome.
+func (r *Runner) resultErr(ctx context.Context, k runKey) error {
+	_, err := r.resultSafe(ctx, k, false)
 	return err
 }
 
@@ -82,12 +96,12 @@ func (r *Runner) resultErr(ctx context.Context, k runKey) (err error) {
 // checkpoints the boundary state, later ones restore it and run only the
 // measured phase — event-for-event identical to the straight-through run.
 //
-// With SimJobs > 1 and slack in the shared worker budget, the measured
-// phase instead runs epoch-parallel through a cached sim.EpochSim (see
-// epoch.go); its Result is byte-identical to the serial path's, so the memo,
-// the persistent store and the goldens never see which path produced a
-// number.
-func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
+// With SimJobs > 1 (or SimJobsAuto) and slack in the shared worker budget,
+// the measured phase instead runs epoch-parallel through a cached
+// sim.EpochSim (see epoch.go); its Result is byte-identical to the serial
+// path's, so the memo, the persistent store and the goldens never see which
+// path produced a number.
+func (r *Runner) simulate(ctx context.Context, k runKey, held bool) (sim.Result, error) {
 	prof, ok := workload.ByName(k.bench)
 	if !ok {
 		return sim.Result{}, fmt.Errorf("experiments: unknown benchmark %q", k.bench)
@@ -100,8 +114,14 @@ func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
-	r.running.Add(1)
-	defer r.running.Add(-1)
+	if !held {
+		// Direct callers charge the budget themselves; Hold never blocks
+		// (overcommit just leaves no slack for epoch workers), matching a
+		// dispatched job's one-slot footprint.
+		b := r.bud()
+		b.Hold()
+		defer b.Release(1)
+	}
 	warm := prof.WarmupRefs()
 	if warm > len(recs) {
 		warm = len(recs)
@@ -127,28 +147,27 @@ func (r *Runner) simulate(ctx context.Context, k runKey) (sim.Result, error) {
 }
 
 // simulateParallel attempts the epoch-parallel measured phase: it fires only
-// when the Runner grants intra-sim workers (SimJobs > 1) AND the shared
-// budget has at least one idle slot to borrow. ok=false means "run the
+// when the Runner grants intra-sim workers (SimJobs > 1, or SimJobsAuto)
+// AND the shared budget has at least one idle slot. ok=false means "run the
 // serial path" — either the feature is off, the budget is saturated, or the
 // scheme cannot checkpoint (EpochSim requires snapshottable, hashable
-// state). The speculation bookkeeping is folded into the Runner's totals and
-// stripped from the returned Result, which keeps every memoized/stored
-// Result a pure function of the configuration regardless of execution path.
+// state). The run draws its extra workers from the dispatch budget just in
+// time, leg by leg (sim.EpochSim.RunMeasuredBudget), rather than reserving
+// them up front — slack that appears mid-run is used, slack that vanishes
+// degrades the run toward serial. The speculation bookkeeping is folded
+// into the Runner's totals and stripped from the returned Result, which
+// keeps every memoized/stored Result a pure function of the configuration
+// regardless of execution path.
 func (r *Runner) simulateParallel(k runKey, cfg sim.Config, recs []workload.Record, warm int) (res sim.Result, ok bool, err error) {
-	if r.SimJobs <= 1 {
+	epochs := r.epochCount()
+	if epochs <= 1 {
 		return sim.Result{}, false, nil
 	}
-	extra := r.tryBorrow(r.SimJobs - 1)
-	if extra == 0 {
-		return sim.Result{}, false, nil
-	}
-	defer r.unborrow(extra)
-
-	key := r.epochKey(k, r.SimJobs)
+	key := r.epochKey(k, epochs)
 	es, cached := epochSims.get(key)
 	if !cached {
 		var eserr error
-		es, eserr = sim.NewEpochSim(cfg, r.SimJobs)
+		es, eserr = sim.NewEpochSim(cfg, epochs)
 		if eserr != nil {
 			return sim.Result{}, false, nil
 		}
@@ -169,7 +188,7 @@ func (r *Runner) simulateParallel(k runKey, cfg sim.Config, recs []workload.Reco
 		checkpoints.put(k, cp)
 	}
 	r.sims.Add(1)
-	res, err = es.RunMeasured(cp, recs[warm:], 1+extra)
+	res, err = es.RunMeasuredBudget(cp, recs[warm:], r.bud())
 	if err != nil {
 		return sim.Result{}, false, err
 	}
@@ -205,14 +224,90 @@ func (r *Runner) jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// sweep memoizes every key, fanning the list out over the worker pool. It
-// returns when all simulations are done, the context is cancelled, or a
-// simulation fails (first error wins; in-flight work is cancelled). A
-// cancelled sweep always reports the cancellation, even when it raced the
-// end of the key feed (or the key list was empty), and a panicking
-// simulation surfaces as the sweep's error rather than propagating out of
-// a worker goroutine. With one worker (or one key) it degrades to the
-// plain sequential loop.
+// bud returns the shared worker budget, refreshing its cap from the
+// current Jobs setting (Jobs is set before the first request; re-storing
+// the same cap is free).
+func (r *Runner) bud() *dispatch.Budget {
+	r.budget.SetCap(r.jobs())
+	return &r.budget
+}
+
+// dispatcher returns the weighted-fair dispatcher over the shared budget,
+// building it on first use so batch Runners never pay for it.
+func (r *Runner) dispatcher() *dispatch.Dispatcher {
+	r.dispOnce.Do(func() { r.disp = dispatch.NewDispatcher(&r.budget) })
+	r.budget.SetCap(r.jobs())
+	return r.disp
+}
+
+// DispatchStats snapshots the dispatcher's queue, fairness and budget
+// counters — the payload behind secsimd's /metrics "dispatch" section.
+func (r *Runner) DispatchStats() dispatch.QueueStats {
+	return r.dispatcher().Stats()
+}
+
+// dispatchKeys memoizes every key through the weighted-fair dispatcher:
+// one job per key, tagged with the owner/weight carried by ctx
+// (dispatch.WithOwner), each holding one budget slot while it runs. each
+// — when non-nil — is invoked once per key that actually resolved, in
+// completion order (calls are serialized), with the key's index and
+// outcome; keys shed by cancellation before simulating are not reported.
+// The first simulation error cancels the remaining queued jobs, and a
+// cancelled dispatch always reports the cancellation, even when every job
+// drained cleanly first. Jobs must never dispatch recursively: a job that
+// waited on a nested dispatch would hold its slot while the nested jobs
+// starve for one.
+func (r *Runner) dispatchKeys(ctx context.Context, keys []runKey, each func(i int, res sim.Result, err error)) error {
+	d := r.dispatcher()
+	owner, weight := dispatch.OwnerFromContext(ctx)
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		cbMu     sync.Mutex
+	)
+	wg.Add(len(keys))
+	for i, k := range keys {
+		d.Submit(ctx, owner, weight, func(jctx context.Context) {
+			defer wg.Done()
+			if jctx.Err() != nil {
+				return
+			}
+			res, err := r.resultSafe(jctx, k, true)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				cancel()
+			}
+			if each != nil {
+				cbMu.Lock()
+				each(i, res, err)
+				cbMu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Report cancellation off the parent, not the derived context: the
+	// derived one is about to be cancelled by the deferred cancel
+	// regardless, while parent.Err() is non-nil exactly when the caller's
+	// context was cancelled.
+	return parent.Err()
+}
+
+// sweep memoizes every key. With one worker (or one key) it is a plain
+// sequential loop — the batch path the perf harness gates allocation-for-
+// allocation; otherwise the keys fan out through the weighted-fair
+// dispatcher over the shared budget. It returns when all simulations are
+// done, the context is cancelled, or a simulation fails (first error
+// wins; queued work is shed). A cancelled sweep always reports the
+// cancellation, even when it raced the last completion or the key list
+// was empty, and a panicking simulation surfaces as the sweep's error
+// rather than propagating out of a job goroutine.
 func (r *Runner) sweep(ctx context.Context, keys []runKey) error {
 	n := r.jobs()
 	if n > len(keys) {
@@ -229,51 +324,7 @@ func (r *Runner) sweep(ctx context.Context, keys []runKey) error {
 		}
 		return ctx.Err()
 	}
-
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	work := make(chan runKey)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := r.resultErr(ctx, k); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					cancel()
-					return
-				}
-			}
-		}()
-	}
-feed:
-	for _, k := range keys {
-		select {
-		case work <- k:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	// Report cancellation off the parent, not the derived context: the
-	// derived one is about to be cancelled by the deferred cancel
-	// regardless, while parent.Err() is non-nil exactly when the caller's
-	// context was cancelled — including a cancellation that landed just as
-	// the feed loop finished and every worker drained cleanly.
-	return parent.Err()
+	return r.dispatchKeys(ctx, keys, nil)
 }
 
 // Spec is the exported face of a runKey: one simulation in the sweep
@@ -315,12 +366,16 @@ func (s Spec) Validate() error {
 
 // ExpandBenches expands a benchmark argument — a single name, a
 // comma-separated list, or "all" — into validated benchmark names. Shared
-// by the secsim -bench flag and the secsimd request parsers.
+// by the secsim -bench flag and the secsimd request parsers. Duplicate
+// names are dropped, keeping the first occurrence's position, so
+// "gzip,mcf,gzip" sweeps each benchmark exactly once; "all" returns a
+// fresh copy callers may mutate.
 func ExpandBenches(arg string) ([]string, error) {
 	if strings.EqualFold(arg, "all") {
-		return workload.BenchmarkNames, nil
+		return append([]string(nil), workload.BenchmarkNames...), nil
 	}
 	var out []string
+	seen := make(map[string]bool)
 	for _, b := range strings.Split(arg, ",") {
 		b = strings.TrimSpace(b)
 		if b == "" {
@@ -329,6 +384,10 @@ func ExpandBenches(arg string) ([]string, error) {
 		if _, ok := workload.ByName(b); !ok {
 			return nil, fmt.Errorf("unknown benchmark %q (have %s)", b, strings.Join(workload.BenchmarkNames, ", "))
 		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
 		out = append(out, b)
 	}
 	if len(out) == 0 {
@@ -337,19 +396,68 @@ func ExpandBenches(arg string) ([]string, error) {
 	return out, nil
 }
 
+// ParseSimJobs parses a -simjobs flag value: "auto" (case-insensitive)
+// selects SimJobsAuto — the epoch count adapts to observed worker-budget
+// slack — and anything else must be a non-negative integer (0/1 = serial).
+// Shared by the secsim and secsimd flag parsers.
+func ParseSimJobs(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "auto") {
+		return SimJobsAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf(`simjobs wants a non-negative integer or "auto", got %q`, s)
+	}
+	return n, nil
+}
+
 func (s Spec) key() runKey {
 	return runKey{bench: s.Bench, scheme: s.Scheme.Canonical(), sncKB: s.SNCKB, sncWays: s.SNCWays,
 		l2KB: s.L2KB, l2Ways: s.L2Ways, cryptoLat: s.CryptoLat}
 }
 
 // Run executes (or recalls) the simulation for one spec.
-func (r *Runner) Run(s Spec) (sim.Result, error) { return r.result(context.Background(), s.key()) }
+func (r *Runner) Run(s Spec) (sim.Result, error) {
+	return r.result(context.Background(), s.key(), false)
+}
 
 // RunCtx is Run with cancellation: if the spec's simulation is owned by
 // another in-flight request, a cancelled ctx releases this caller with
 // ctx.Err() while the shared simulation runs on.
 func (r *Runner) RunCtx(ctx context.Context, s Spec) (sim.Result, error) {
-	return r.result(ctx, s.key())
+	return r.result(ctx, s.key(), false)
+}
+
+// RunDispatched executes (or recalls) one spec through the dispatcher's
+// fairness queue: instead of simulating immediately on the caller's
+// goroutine, the job competes for a worker slot under the owner/weight
+// carried by ctx (dispatch.WithOwner), so interactive requests are
+// scheduled fairly against bulk sweeps. A cancelled ctx releases the
+// caller promptly; a simulation already underway completes detached and
+// stays memoized, exactly like RunCtx's waiter semantics.
+func (r *Runner) RunDispatched(ctx context.Context, s Spec) (sim.Result, error) {
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	k := s.key()
+	owner, weight := dispatch.OwnerFromContext(ctx)
+	ch := make(chan outcome, 1)
+	r.dispatcher().Submit(ctx, owner, weight, func(jctx context.Context) {
+		if jctx.Err() != nil {
+			ch <- outcome{err: jctx.Err()}
+			return
+		}
+		res, err := r.resultSafe(jctx, k, true)
+		ch <- outcome{res, err}
+	})
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	}
 }
 
 // Sweep memoizes every spec using up to Jobs concurrent workers, so a later
@@ -361,4 +469,20 @@ func (r *Runner) Sweep(ctx context.Context, specs []Spec) error {
 		keys[i] = s.key()
 	}
 	return r.sweep(ctx, keys)
+}
+
+// SweepEach memoizes every spec through the weighted-fair dispatcher and
+// streams each outcome to fn the moment it lands: fn(i, res, err) receives
+// specs[i]'s result in completion order (calls are serialized; err is the
+// spec's own failure). Unlike Sweep, SweepEach always dispatches — even a
+// one-worker Runner queues through the fair scheduler, so a bulk sweep
+// submitted under one owner cannot starve requests submitted under
+// another. Specs shed by cancellation before simulating are not reported
+// to fn; the returned error is the first failure or the cancellation.
+func (r *Runner) SweepEach(ctx context.Context, specs []Spec, fn func(i int, res sim.Result, err error)) error {
+	keys := make([]runKey, len(specs))
+	for i, s := range specs {
+		keys[i] = s.key()
+	}
+	return r.dispatchKeys(ctx, keys, fn)
 }

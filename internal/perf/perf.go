@@ -19,13 +19,16 @@
 package perf
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"secureproc/internal/dispatch"
 	"secureproc/internal/experiments"
 	"secureproc/internal/sim"
 	"secureproc/internal/workload"
@@ -88,7 +91,38 @@ func Collect() Snapshot {
 	serial, parallel := measureLatencyPair()
 	s["latency-snc-lru-mcf-serial"] = serial
 	s[fmt.Sprintf("latency-snc-lru-mcf-simjobs%d", latencyWorkers)] = parallel
+	s["dispatch-overhead"] = measureDispatch()
 	return s
+}
+
+// dispatchJobs is the batch size of the dispatch-overhead probe.
+const dispatchJobs = 1024
+
+// measureDispatch prices the dispatch layer itself: dispatchJobs trivial
+// jobs from two owners pushed through a fresh Dispatcher over a
+// GOMAXPROCS-slot budget, measuring pure scheduling cost (queueing,
+// weighted-fair picks, slot accounting, goroutine hand-off) with no
+// simulation work attached. This is the overhead every dispatched request
+// pays on top of its simulation; the batch figure-sweep path never
+// constructs a Dispatcher and is separately gated by figure-sweep staying
+// flat.
+func measureDispatch() Metric {
+	return measureOp(func() (int, uint64) {
+		b := dispatch.NewBudget(runtime.GOMAXPROCS(0))
+		d := dispatch.NewDispatcher(b)
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		wg.Add(dispatchJobs)
+		for i := 0; i < dispatchJobs; i++ {
+			owner := "bulk"
+			if i%2 == 1 {
+				owner = "interactive"
+			}
+			d.Submit(ctx, owner, 1+i%2, func(context.Context) { wg.Done() })
+		}
+		wg.Wait()
+		return 0, 0
+	})
 }
 
 // measureOp times op() Rounds times (after one untimed warmup for the

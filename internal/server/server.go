@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"secureproc/internal/core"
+	"secureproc/internal/dispatch"
 	"secureproc/internal/experiments"
 	"secureproc/internal/sim"
 	"secureproc/internal/store"
@@ -18,7 +22,7 @@ import (
 
 // Config sizes the service's runner. The zero value is a production-ish
 // default: native workload scale, GOMAXPROCS concurrent simulations,
-// unbounded memos.
+// unbounded memos, unbounded admission.
 type Config struct {
 	// Scale is the workload scale for every simulation (0 = 1.0 native).
 	Scale float64
@@ -27,8 +31,9 @@ type Config struct {
 	// SimJobs, when > 1, lets a single simulation split its measured phase
 	// into that many speculative epochs whenever the shared Jobs budget has
 	// idle workers — cutting the latency of one uncached request without
-	// changing any result (see experiments.Runner.SimJobs). 0 or 1 keeps
-	// simulations serial.
+	// changing any result (see experiments.Runner.SimJobs).
+	// experiments.SimJobsAuto (-1) sizes the split from observed budget
+	// slack instead. 0 or 1 keeps simulations serial.
 	SimJobs int
 	// Capacity bounds the result memo (LRU; 0 = unbounded). In-flight
 	// simulations are pinned and never evicted.
@@ -39,14 +44,25 @@ type Config struct {
 	// directory (keyed by run configuration and sim.TimingModelVersion) so
 	// a restarted service answers repeated requests without re-simulating.
 	StoreDir string
+	// MaxAdmit bounds concurrently admitted simulation requests (/v1/run,
+	// /v1/sweep, /v1/figures) — distinct from Jobs, which bounds executing
+	// simulations. Beyond the cap, requests are rejected immediately with
+	// 429 + Retry-After instead of queueing unboundedly. 0 = unbounded.
+	MaxAdmit int
+	// Stream makes /v1/sweep stream each result as an NDJSON line the
+	// moment it lands, by default; individual requests override with the
+	// "stream" field or an "Accept: application/x-ndjson" header.
+	Stream bool
 }
 
 // Server is the secsimd HTTP handler: /v1/run, /v1/sweep,
 // /v1/figures/{name}, /v1/schemes, /v1/benchmarks, /healthz and /metrics.
 type Server struct {
-	runner *experiments.Runner
-	mux    *http.ServeMux
-	start  time.Time
+	runner    *experiments.Runner
+	admission *dispatch.Admission
+	stream    bool
+	mux       *http.ServeMux
+	start     time.Time
 
 	// Per-endpoint request counters for /metrics.
 	runReqs, sweepReqs, figureReqs, listReqs, healthReqs, metricReqs atomic.Int64
@@ -70,15 +86,65 @@ func New(cfg Config) (*Server, error) {
 		}
 		r.Store = st
 	}
-	s := &Server{runner: r, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s := &Server{
+		runner:    r,
+		admission: dispatch.NewAdmission(cfg.MaxAdmit),
+		stream:    cfg.Stream,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.admit(s.handleFigure))
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// Fairness weights for the dispatcher's per-owner queues: one interactive
+// /v1/run job counts as four sweep jobs, so a caller probing individual
+// configurations stays responsive while a bulk sweep grinds through its
+// fan-out on the same worker budget.
+const (
+	runWeight   = 4
+	sweepWeight = 1
+)
+
+// ownerCtx tags the request context for the fairness queue: jobs from the
+// same client (X-Client-ID header, else the remote host) share one queue
+// and compete fairly with every other client's.
+func ownerCtx(r *http.Request, weight int) context.Context {
+	owner := r.Header.Get("X-Client-ID")
+	if owner == "" {
+		owner = r.RemoteAddr
+		if host, _, err := net.SplitHostPort(owner); err == nil {
+			owner = host
+		}
+	}
+	return dispatch.WithOwner(r.Context(), owner, weight)
+}
+
+// admit gates a simulation-triggering handler behind the admission cap:
+// beyond MaxAdmit concurrently admitted requests the caller gets 429 with
+// a Retry-After estimate (observed request duration scaled by the backlog)
+// instead of holding queue space. Listings, health and metrics stay
+// un-gated so a saturated service remains observable.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admission.TryAdmit()
+		if !ok {
+			ra := s.admission.RetryAfter()
+			secs := int64((ra + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at admission capacity; retry after %ds", secs))
+			return
+		}
+		defer release()
+		h(w, r)
+	}
 }
 
 // Runner exposes the underlying runner (diagnostics and tests).
@@ -149,7 +215,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := specs[0]
-	res, err := await(r.Context(), func() (sim.Result, error) { return s.runner.Run(spec) })
+	// RunDispatched queues the job under this client's fairness owner and
+	// releases a cancelled caller promptly while a simulation already
+	// underway completes detached into the shared memo — the same detach
+	// semantics await used to provide, now owned by the dispatch layer.
+	res, err := s.runner.RunDispatched(ownerCtx(r, runWeight), spec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client is gone; nothing useful to write.
@@ -162,9 +232,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // SweepRequest is the /v1/sweep payload: a list of specs, each expandable
-// over benchmarks ("bench": "all" or "gzip,mcf").
+// over benchmarks ("bench": "all" or "gzip,mcf"). Stream, when set,
+// overrides the server's streaming default for this request.
 type SweepRequest struct {
-	Specs []SpecRequest `json:"specs"`
+	Specs  []SpecRequest `json:"specs"`
+	Stream *bool         `json:"stream,omitempty"`
 }
 
 // SweepResponse reports every resolved spec with its result, in request
@@ -172,6 +244,38 @@ type SweepRequest struct {
 type SweepResponse struct {
 	Count   int           `json:"count"`
 	Results []RunResponse `json:"results"`
+}
+
+// StreamLine is one NDJSON line of a streamed sweep: spec i's outcome,
+// emitted the moment its simulation lands. Lines arrive in completion
+// order, not request order; Index maps each back to the expanded spec
+// list. Exactly one of Result and Error is set.
+type StreamLine struct {
+	Index  int         `json:"index"`
+	Spec   SpecJSON    `json:"spec"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// StreamTrailer terminates a streamed sweep: Count results landed; Error
+// reports a failure that shed the remaining specs.
+type StreamTrailer struct {
+	Done  bool   `json:"done"`
+	Count int    `json:"count"`
+	Error string `json:"error,omitempty"`
+}
+
+// streaming resolves whether this sweep answers as an NDJSON stream: the
+// request's own "stream" field wins, then an Accept asking for NDJSON,
+// then the server's -stream default.
+func (s *Server) streaming(req SweepRequest, r *http.Request) bool {
+	if req.Stream != nil {
+		return *req.Stream
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		return true
+	}
+	return s.stream
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -194,22 +298,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		specs = append(specs, expanded...)
 	}
-	resp, err := await(r.Context(), func() (SweepResponse, error) {
-		// The sweep itself runs on a background context: a client that
-		// gives up mid-sweep stops waiting (via await) but the fan-out
-		// completes and warms the memo for the next caller.
-		if err := s.runner.Sweep(context.Background(), specs); err != nil {
-			return SweepResponse{}, err
+	if s.streaming(req, r) {
+		s.streamSweep(w, r, specs)
+		return
+	}
+	// Buffered mode still fans out through the fair dispatcher under the
+	// request context: a client that gives up sheds its queued specs (the
+	// backpressure point of admission control) while specs already
+	// simulating complete detached and stay memoized for the next caller.
+	results := make([]RunResponse, len(specs))
+	err := s.runner.SweepEach(ownerCtx(r, sweepWeight), specs, func(i int, res sim.Result, err error) {
+		if err == nil {
+			results[i] = RunResponse{Spec: specJSON(specs[i]), Result: res}
 		}
-		out := SweepResponse{Count: len(specs), Results: make([]RunResponse, 0, len(specs))}
-		for _, sp := range specs {
-			res, err := s.runner.Run(sp) // memo hits after the sweep
-			if err != nil {
-				return SweepResponse{}, err
-			}
-			out.Results = append(out.Results, RunResponse{Spec: specJSON(sp), Result: res})
-		}
-		return out, nil
 	})
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -218,7 +319,51 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, SweepResponse{Count: len(specs), Results: results})
+}
+
+// streamSweep answers a sweep as NDJSON: one StreamLine per spec as its
+// simulation completes, then a StreamTrailer. Time-to-first-result is
+// bounded by one simulation, not the whole fan-out, and a slow consumer
+// never holds worker slots — lines buffer in the HTTP layer while the
+// dispatcher keeps draining jobs.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []experiments.Spec) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit the headers so the client sees the stream open
+	}
+	enc := json.NewEncoder(w)
+	count := 0
+	// SweepEach serializes callbacks, so the encoder and flusher are never
+	// written concurrently.
+	err := s.runner.SweepEach(ownerCtx(r, sweepWeight), specs, func(i int, res sim.Result, err error) {
+		line := StreamLine{Index: i, Spec: specJSON(specs[i])}
+		if err != nil {
+			line.Error = err.Error()
+		} else {
+			line.Result = &res
+			count++
+		}
+		enc.Encode(line) //nolint:errcheck // client gone surfaces via ctx
+		if fl != nil {
+			fl.Flush()
+		}
+	})
+	if r.Context().Err() != nil {
+		// Client gone mid-stream: queued specs were shed, in-flight
+		// simulations finish detached into the memo; nothing to write.
+		return
+	}
+	trailer := StreamTrailer{Done: true, Count: count}
+	if err != nil {
+		trailer.Error = err.Error()
+	}
+	enc.Encode(trailer) //nolint:errcheck // client gone is the only failure
+	if fl != nil {
+		fl.Flush()
+	}
 }
 
 // FigureResponse is the /v1/figures/{name} payload.
@@ -310,6 +455,27 @@ type Metrics struct {
 	// EpochSims exposes the process-wide epoch-simulator cache backing the
 	// speculative runs.
 	EpochSims experiments.EpochCacheStats `json:"epoch_sims"`
+	// Dispatch exposes the execution dispatch layer: the admission gate
+	// (rejections become 429s) and the weighted-fair queue over the shared
+	// worker budget.
+	Dispatch DispatchMetrics `json:"dispatch"`
+	// Runtime exposes Go runtime gauges so saturation (goroutine pileup,
+	// heap growth, GC pressure) is diagnosable from /metrics alone.
+	Runtime RuntimeMetrics `json:"runtime"`
+}
+
+// DispatchMetrics groups the dispatch layer's counters for /metrics.
+type DispatchMetrics struct {
+	Admission dispatch.AdmissionStats `json:"admission"`
+	Queue     dispatch.QueueStats     `json:"queue"`
+}
+
+// RuntimeMetrics is a point-in-time snapshot of Go runtime gauges.
+type RuntimeMetrics struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	NumGC          uint32 `json:"num_gc"`
 }
 
 // MetricsSnapshot assembles the current metrics (also used by tests).
@@ -320,6 +486,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 		st := s.runner.Store.Stats()
 		storeStats = &st
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: map[string]int64{
@@ -338,6 +506,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Checkpoints:  experiments.CheckpointCacheStats(),
 		Speculation:  s.runner.SpeculationStats(),
 		EpochSims:    experiments.EpochSimCacheStats(),
+		Dispatch: DispatchMetrics{
+			Admission: s.admission.Stats(),
+			Queue:     s.runner.DispatchStats(),
+		},
+		Runtime: RuntimeMetrics{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: ms.HeapAlloc,
+			GCPauseTotalNs: ms.PauseTotalNs,
+			NumGC:          ms.NumGC,
+		},
 	}
 }
 

@@ -40,6 +40,17 @@ type boundary struct {
 	hash uint64
 }
 
+// WorkerBudget grants execution slots to epoch legs just-in-time. It is
+// satisfied by dispatch.Budget; sim depends only on this interface so the
+// package graph stays acyclic. Implementations must never block.
+type WorkerBudget interface {
+	// TryAcquire claims up to want idle slots and returns how many were
+	// granted — possibly zero.
+	TryAcquire(want int) int
+	// Release returns n slots claimed by TryAcquire.
+	Release(n int)
+}
+
 // EpochSim is a reusable epoch-parallel executor for one machine
 // configuration. It owns K worker Systems and double-buffered boundary
 // checkpoints (predictions read by the current run, actuals written for the
@@ -141,7 +152,7 @@ func (e *EpochSim) Run(recs []workload.Record, warm, workers int) (Result, error
 		e.startCP = &Checkpoint{}
 	}
 	sys.CheckpointInto(e.startCP)
-	return e.runMeasured(e.startCP, recs[warm:], workers)
+	return e.runMeasured(e.startCP, recs[warm:], workers, nil)
 }
 
 // RunMeasured runs the measured stream epoch-parallel from a post-warmup
@@ -152,10 +163,43 @@ func (e *EpochSim) Run(recs []workload.Record, warm, workers int) (Result, error
 func (e *EpochSim) RunMeasured(start *Checkpoint, recs []workload.Record, workers int) (Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.runMeasured(start, recs, workers)
+	return e.runMeasured(start, recs, workers, nil)
 }
 
-func (e *EpochSim) runMeasured(start *Checkpoint, recs []workload.Record, workers int) (Result, error) {
+// RunMeasuredBudget is RunMeasured drawing concurrency from a shared
+// worker budget instead of a fixed worker count. The caller's own slot
+// guarantees serial progress; each epoch leg additionally tries to claim
+// one idle slot from wb just before executing and returns it right after,
+// so a saturated budget degrades to serial execution while slack fans the
+// run across the machine — slot by slot, re-checked per leg, instead of a
+// single up-front reservation for the whole run.
+func (e *EpochSim) RunMeasuredBudget(start *Checkpoint, recs []workload.Record, wb WorkerBudget) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runMeasured(start, recs, 1, wb)
+}
+
+// acquireSlot claims one execution slot for an epoch leg: an idle slot
+// drawn from the shared budget when one exists (returns true), else the
+// guaranteed slot modeled by sem (returns false, blocking until free).
+func (e *EpochSim) acquireSlot(sem chan struct{}, wb WorkerBudget) bool {
+	if wb != nil && wb.TryAcquire(1) == 1 {
+		return true
+	}
+	sem <- struct{}{}
+	return false
+}
+
+// releaseSlot returns the slot claimed by acquireSlot.
+func (e *EpochSim) releaseSlot(sem chan struct{}, wb WorkerBudget, borrowed bool) {
+	if borrowed {
+		wb.Release(1)
+	} else {
+		<-sem
+	}
+}
+
+func (e *EpochSim) runMeasured(start *Checkpoint, recs []workload.Record, workers int, wb WorkerBudget) (Result, error) {
 	if !compatible(e.cfg, start.cfg) {
 		return Result{}, fmt.Errorf("sim: checkpoint config mismatch (%s vs %s)",
 			start.cfg.Scheme.Canonical(), e.cfg.Scheme.Canonical())
@@ -222,9 +266,9 @@ func (e *EpochSim) runMeasured(start *Checkpoint, recs []workload.Record, worker
 		var specRes Result
 		speculated := false
 		if i > 0 && e.predValid[i] {
-			sem <- struct{}{}
+			borrowed := e.acquireSlot(sem, wb)
 			r, err := e.runEpoch(i, e.pred[i], epochRecs[i])
-			<-sem
+			e.releaseSlot(sem, wb, borrowed)
 			if err == nil {
 				specRes, speculated = r, true
 			}
@@ -256,9 +300,9 @@ func (e *EpochSim) runMeasured(start *Checkpoint, recs []workload.Record, worker
 
 		// Serial leg (epoch 0, no prediction, or rollback after a miss):
 		// simulate from the true boundary state.
-		sem <- struct{}{}
+		borrowed := e.acquireSlot(sem, wb)
 		r, err := e.runEpoch(i, from, epochRecs[i])
-		<-sem
+		e.releaseSlot(sem, wb, borrowed)
 		if err != nil {
 			fail(err)
 			publish(boundary{})
