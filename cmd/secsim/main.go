@@ -58,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	"secureproc/internal/api"
 	"secureproc/internal/core"
 	"secureproc/internal/experiments"
 	"secureproc/internal/perf"
@@ -303,6 +304,7 @@ func main() {
 			fmt.Print(t.String())
 		}
 		printSpeculation(runner)
+		printDispatch(runner)
 		fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs)\n", runner.Simulations(), time.Since(start).Seconds())
 		return
 	}
@@ -319,15 +321,16 @@ func main() {
 		specs[i] = mkSpec(b, ref)
 	}
 	if *streamOut {
-		// One NDJSON line per completed simulation, in completion order;
-		// index maps each line back to the -bench list.
+		// One NDJSON line per completed simulation, in completion order,
+		// using the same api.StreamLine shape secsimd streams; index maps
+		// each line back to the -bench list.
 		enc := json.NewEncoder(os.Stdout)
 		err := runner.SweepEach(context.Background(), specs, func(i int, res sim.Result, err error) {
-			line := map[string]any{"index": i, "bench": specs[i].Bench}
+			line := api.StreamLine{Index: i, Spec: api.SpecOf(specs[i])}
 			if err != nil {
-				line["error"] = err.Error()
+				line.Error = err.Error()
 			} else {
-				line["result"] = res
+				line.Result = &res
 			}
 			enc.Encode(line) //nolint:errcheck // stdout
 		})
@@ -335,6 +338,7 @@ func main() {
 			fatal(err)
 		}
 		printSpeculation(runner)
+		printDispatch(runner)
 		if len(benches) > 1 {
 			fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs)\n", runner.Simulations(), time.Since(start).Seconds())
 		}
@@ -375,6 +379,7 @@ func main() {
 		fmt.Printf("stalls: rob=%d mshr=%d dep=%d\n", r.ROBStallCycles, r.MSHRStallCycles, r.DepStallCycles)
 	}
 	printSpeculation(runner)
+	printDispatch(runner)
 	if len(benches) > 1 {
 		fmt.Fprintf(os.Stderr, "(%d simulations, %.1fs)\n", runner.Simulations(), time.Since(start).Seconds())
 	}
@@ -391,4 +396,20 @@ func printSpeculation(r *experiments.Runner) {
 	}
 	fmt.Fprintf(os.Stderr, "(speculation: %d parallel runs, %d epochs, %d commits, %d rollbacks, %d cycles re-simulated)\n",
 		st.ParallelRuns, st.Epochs, st.Commits, st.Rollbacks, st.ResimCycles)
+}
+
+// printDispatch reports the dispatch layer's counters on stderr after a
+// multi-spec run, in the same api.DispatchMetrics shape secsimd exports on
+// /metrics. Silent when the dispatcher never engaged — single-spec
+// sequential runs stay dispatcher-free and print nothing.
+func printDispatch(r *experiments.Runner) {
+	q := r.DispatchStats()
+	if q.Submitted == 0 {
+		return
+	}
+	b, err := json.Marshal(api.DispatchMetrics{Queue: q})
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "(dispatch: %s)\n", b)
 }

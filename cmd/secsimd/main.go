@@ -9,6 +9,8 @@
 //	secsimd [-addr :8080] [-scale 1.0] [-jobs N] [-simjobs K|auto]
 //	        [-memo-capacity 0] [-trace-capacity 0] [-drain 30s]
 //	        [-store DIR] [-maxadmit 0] [-stream]
+//	        [-peers host:port,... -self host:port] [-hoplimit 3]
+//	        [-batchwindow 0]
 //
 // With -simjobs K > 1, a single uncached simulation may split its measured
 // phase into K speculative epochs and run them on idle -jobs slots (see
@@ -33,16 +35,33 @@
 // a rebooted secsimd answers previously-computed requests from disk instead
 // of re-simulating. Damaged or stale entries fall back to recompute.
 //
-// Endpoints:
+// With -peers, the node joins a static fleet: every member lists the same
+// membership, each request's canonical run key is hashed onto a consistent
+// ring, and requests owned by another member forward there — so the
+// fleet's result memos partition exactly-once across instances instead of
+// duplicating. -self is this node's advertised host:port on the ring (it
+// must appear in the other members' -peers lists). A request that has
+// already been forwarded -hoplimit times is served locally (the loop guard
+// for misconfigured rings), and an unreachable owner degrades the request
+// to local execution after one retry — never to a failure. With
+// -batchwindow > 0, locally-owned /v1/run requests arriving within one
+// window execute together as a single deduplicated batch. Cluster
+// counters, per-peer health and a fleet-wide rollup appear under
+// "cluster" in /metrics.
+//
+// The wire contract (request/response/error payloads for every endpoint)
+// is defined in internal/api; see that package's documentation for the
+// authoritative reference. Endpoints:
 //
 //	POST /v1/run              one spec -> simulation result
 //	POST /v1/sweep            spec list (bench may be "all" or a,b,c)
 //	GET  /v1/figures/{name}   rendered figure table (?format=text)
 //	GET  /v1/schemes          registered protection schemes
 //	GET  /v1/benchmarks       benchmark names
+//	GET  /v1/cluster/stats    this node's cluster counters (fleet mode)
 //	GET  /healthz             liveness
 //	GET  /metrics             memo size, hit/miss/coalesced/eviction
-//	                          counts, in-flight simulations
+//	                          counts, in-flight simulations, cluster rollup
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain before exiting.
@@ -55,6 +74,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,13 +93,17 @@ func main() {
 	storeDir := flag.String("store", "", "persist results in this directory across restarts (empty = off)")
 	maxAdmit := flag.Int("maxadmit", 0, "concurrently admitted simulation requests before 429 + Retry-After (0 = unbounded)")
 	stream := flag.Bool("stream", false, "stream /v1/sweep results as NDJSON by default")
+	peers := flag.String("peers", "", "comma-separated fleet members (host:port,...); enables cluster sharding")
+	self := flag.String("self", "", "this node's advertised host:port on the ring (required with -peers)")
+	hopLimit := flag.Int("hoplimit", 0, "max forwards per request before serving locally (0 = default)")
+	batchWindow := flag.Duration("batchwindow", 0, "hold locally-owned /v1/run requests this long and execute each window as one deduplicated batch (0 = off)")
 	flag.Parse()
 
 	sj, err := experiments.ParseSimJobs(*simJobs)
 	if err != nil {
 		log.Fatalf("secsimd: %v", err)
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Scale:         *scale,
 		Jobs:          *jobs,
 		SimJobs:       sj,
@@ -88,7 +112,22 @@ func main() {
 		StoreDir:      *storeDir,
 		MaxAdmit:      *maxAdmit,
 		Stream:        *stream,
-	})
+	}
+	if *peers != "" {
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		cfg.Cluster = &server.ClusterConfig{
+			Self:        *self,
+			Peers:       members,
+			HopLimit:    *hopLimit,
+			BatchWindow: *batchWindow,
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("secsimd: %v", err)
 	}
@@ -103,8 +142,12 @@ func main() {
 	if *storeDir != "" {
 		storeNote = *storeDir
 	}
-	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, simjobs %s, memo capacity %d, trace capacity %d, store %s, maxadmit %d, stream %v)",
-		*addr, *scale, *jobs, *simJobs, *capacity, *traceCap, storeNote, *maxAdmit, *stream)
+	clusterNote := "off"
+	if cfg.Cluster != nil {
+		clusterNote = *self + " in {" + *peers + "}"
+	}
+	log.Printf("secsimd listening on %s (scale %.2f, jobs %d, simjobs %s, memo capacity %d, trace capacity %d, store %s, maxadmit %d, stream %v, cluster %s)",
+		*addr, *scale, *jobs, *simJobs, *capacity, *traceCap, storeNote, *maxAdmit, *stream, clusterNote)
 
 	select {
 	case err := <-errc:

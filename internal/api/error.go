@@ -1,0 +1,110 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error codes. Stable strings a client can switch on; the HTTP status is
+// redundant with the code so a caller that only sees the body (a line in a
+// log, a forwarded envelope) still knows what happened.
+const (
+	// CodeBadRequest (400): the request body or spec did not resolve.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound (404): no such route or figure.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed (405): the route exists under another method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded (429): admission capacity reached; RetryAfterS carries
+	// the same estimate as the Retry-After header.
+	CodeOverloaded = "overloaded"
+	// CodeUnsupportedVersion (400): the X-Secsim-Api-Version header named a
+	// contract this server does not speak (mixed-version fleet).
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeInternal (500): the simulation failed or panicked.
+	CodeInternal = "internal"
+)
+
+// Error is the structured error every endpoint returns, wrapped in an
+// Envelope. It implements error so service layers can pass one through
+// unchanged and clients can surface it directly.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+	// RetryAfterS, when nonzero, is the server's backoff estimate in whole
+	// seconds (set on CodeOverloaded, mirroring the Retry-After header).
+	RetryAfterS int64 `json:"retry_after_s,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.RetryAfterS > 0 {
+		return fmt.Sprintf("%s: %s (retry after %ds)", e.Code, e.Message, e.RetryAfterS)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code string, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Envelope is the wire shape of an error response: {"error":{...}}.
+type Envelope struct {
+	Err Error `json:"error"`
+}
+
+// Status maps an error code to its HTTP status; unknown codes are 500 so
+// an unmapped error is loudly a server bug rather than silently a 200.
+func Status(code string) int {
+	switch code {
+	case CodeBadRequest, CodeUnsupportedVersion:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// WriteJSON writes v as indented JSON with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+// WriteError writes e as an Envelope with its mapped status. CodeOverloaded
+// errors additionally carry the Retry-After header, so the estimate is
+// available both to plain HTTP clients (header) and to envelope parsers
+// (retry_after_s).
+func WriteError(w http.ResponseWriter, e *Error) {
+	if e.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(e.RetryAfterS))
+	}
+	WriteJSON(w, Status(e.Code), Envelope{Err: *e})
+}
+
+// ErrorFromBody decodes an error envelope from a non-2xx response body.
+// Bodies that do not parse as an envelope (a proxy's HTML, a truncated
+// read) degrade to CodeInternal with the raw body as the message, so
+// callers always get a usable *Error.
+func ErrorFromBody(status int, body []byte) *Error {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Err.Code != "" {
+		return &env.Err
+	}
+	msg := string(body)
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	return &Error{Code: CodeInternal, Message: fmt.Sprintf("status %d: %s", status, msg)}
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"secureproc/internal/experiments"
+	"secureproc/internal/sim"
+)
+
+// batchItem is one caller waiting for a spec's outcome.
+type batchItem struct {
+	spec experiments.Spec
+	ch   chan batchOutcome
+}
+
+// batchOutcome is what a flushed window delivers back to each waiter.
+type batchOutcome struct {
+	res sim.Result
+	err error
+}
+
+// ExecFunc runs a deduplicated batch of specs, reporting each outcome as it
+// completes. It is the Batcher's link back to the runner (SweepEach in
+// production, a stub in tests).
+type ExecFunc func(ctx context.Context, specs []experiments.Spec, each func(i int, res sim.Result, err error)) error
+
+// Batcher coalesces single-run requests that arrive within a short window
+// into one sweep execution. On a sharded fleet each node owns a slice of
+// the key space, so bursts of distinct-but-related specs (a client fanning
+// a sweep across the ring, N clients exploring adjacent configs) land on
+// the same shard close together; running them as one batch shares the
+// dispatcher's admission slot accounting and dedupes identical specs before
+// they hit the memo.
+//
+// A zero window disables batching: Run executes immediately via exec.
+type Batcher struct {
+	window time.Duration
+	exec   ExecFunc
+	note   func(n int) // batch-size counter hook (Fabric.noteBatch)
+
+	mu      sync.Mutex
+	pending []batchItem
+}
+
+// NewBatcher builds a batcher flushing every window. note may be nil.
+func NewBatcher(window time.Duration, exec ExecFunc, note func(n int)) *Batcher {
+	if note == nil {
+		note = func(int) {}
+	}
+	return &Batcher{window: window, exec: exec, note: note}
+}
+
+// Run submits one spec and blocks until its batch flushes and the spec
+// completes, or ctx is done. The batch itself runs on a background context:
+// other callers in the window still want their results even if this one
+// gives up.
+func (b *Batcher) Run(ctx context.Context, spec experiments.Spec) (sim.Result, error) {
+	if b == nil || b.window <= 0 {
+		var (
+			out    sim.Result
+			runErr error
+		)
+		err := b.exec(ctx, []experiments.Spec{spec}, func(_ int, res sim.Result, err2 error) {
+			out, runErr = res, err2
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return out, runErr
+	}
+	item := batchItem{spec: spec, ch: make(chan batchOutcome, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, item)
+	first := len(b.pending) == 1
+	b.mu.Unlock()
+	if first {
+		// The window's first arrival owns the flush timer.
+		go b.flushAfter()
+	}
+	select {
+	case out := <-item.ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	}
+}
+
+// flushAfter sleeps out the window, then executes everything that
+// accumulated as one deduplicated batch and fans the outcomes back out.
+func (b *Batcher) flushAfter() {
+	time.Sleep(b.window)
+	b.mu.Lock()
+	items := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+
+	// Dedupe by canonical key: N waiters on the same spec share one slot
+	// in the executed batch (the memo would coalesce them anyway, but
+	// deduping here keeps the batch size — and the dispatcher's admission
+	// accounting — honest).
+	specs := make([]experiments.Spec, 0, len(items))
+	slot := make(map[string]int, len(items))
+	waiters := make(map[int][]batchItem)
+	for _, it := range items {
+		k := it.spec.CanonicalKey()
+		i, ok := slot[k]
+		if !ok {
+			i = len(specs)
+			slot[k] = i
+			specs = append(specs, it.spec)
+		}
+		waiters[i] = append(waiters[i], it)
+	}
+	b.note(len(specs))
+
+	delivered := make([]bool, len(specs))
+	// Background context: the batch outlives any individual waiter's
+	// cancellation, same detach-on-cancel semantics as the memo.
+	err := b.exec(context.Background(), specs, func(i int, res sim.Result, err error) {
+		delivered[i] = true
+		for _, w := range waiters[i] {
+			w.ch <- batchOutcome{res: res, err: err}
+		}
+	})
+	// A batch-level failure (or a callback the exec never made) must still
+	// release every waiter, or they hang until their contexts cancel.
+	for i, done := range delivered {
+		if done {
+			continue
+		}
+		e := err
+		if e == nil {
+			e = fmt.Errorf("cluster: batch execution dropped spec %d", i)
+		}
+		for _, w := range waiters[i] {
+			w.ch <- batchOutcome{err: e}
+		}
+	}
+}

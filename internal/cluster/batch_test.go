@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"secureproc/internal/experiments"
+	"secureproc/internal/sim"
+)
+
+func testSpec(t *testing.T, bench string) experiments.Spec {
+	t.Helper()
+	ref, err := sim.SchemeByName("snc-lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiments.DefaultSpec(bench, ref)
+}
+
+// TestBatcherCoalescesWindow: N concurrent submissions inside one window
+// execute as one batch, duplicates deduplicated, and every waiter gets its
+// outcome.
+func TestBatcherCoalescesWindow(t *testing.T) {
+	var batches, specsSeen atomic.Int64
+	exec := func(ctx context.Context, specs []experiments.Spec, each func(int, sim.Result, error)) error {
+		batches.Add(1)
+		specsSeen.Add(int64(len(specs)))
+		for i, sp := range specs {
+			each(i, sim.Result{Cycles: uint64(len(sp.Bench))}, nil)
+		}
+		return nil
+	}
+	var noted atomic.Int64
+	b := NewBatcher(50*time.Millisecond, exec, func(n int) { noted.Add(int64(n)) })
+
+	// 6 submissions over 2 distinct specs, all inside one window.
+	specs := []experiments.Spec{
+		testSpec(t, "gzip"), testSpec(t, "mcf"), testSpec(t, "gzip"),
+		testSpec(t, "mcf"), testSpec(t, "gzip"), testSpec(t, "gzip"),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	results := make([]sim.Result, len(specs))
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp experiments.Spec) {
+			defer wg.Done()
+			results[i], errs[i] = b.Run(context.Background(), sp)
+		}(i, sp)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+		if want := uint64(len(specs[i].Bench)); results[i].Cycles != want {
+			t.Errorf("submission %d got cycles %d, want %d (outcome routed to wrong waiter)", i, results[i].Cycles, want)
+		}
+	}
+	if batches.Load() != 1 {
+		t.Errorf("executed %d batches, want 1 (window did not coalesce)", batches.Load())
+	}
+	if specsSeen.Load() != 2 {
+		t.Errorf("batch held %d specs, want 2 (duplicates not deduplicated)", specsSeen.Load())
+	}
+	if noted.Load() != 2 {
+		t.Errorf("note hook saw %d specs, want 2", noted.Load())
+	}
+}
+
+// TestBatcherZeroWindowPassthrough: window 0 executes immediately, one spec
+// per call, no timer.
+func TestBatcherZeroWindowPassthrough(t *testing.T) {
+	var calls atomic.Int64
+	exec := func(ctx context.Context, specs []experiments.Spec, each func(int, sim.Result, error)) error {
+		calls.Add(1)
+		if len(specs) != 1 {
+			t.Errorf("passthrough exec got %d specs, want 1", len(specs))
+		}
+		each(0, sim.Result{Cycles: 7}, nil)
+		return nil
+	}
+	b := NewBatcher(0, exec, nil)
+	res, err := b.Run(context.Background(), testSpec(t, "gzip"))
+	if err != nil || res.Cycles != 7 {
+		t.Fatalf("passthrough = (%+v, %v), want cycles 7", res, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("exec called %d times, want 1", calls.Load())
+	}
+}
+
+// TestBatcherBatchFailureReleasesWaiters: an exec that errors without
+// reporting outcomes must still unblock every waiter with the error —
+// nobody hangs until context timeout.
+func TestBatcherBatchFailureReleasesWaiters(t *testing.T) {
+	boom := fmt.Errorf("dispatch exploded")
+	exec := func(ctx context.Context, specs []experiments.Spec, each func(int, sim.Result, error)) error {
+		return boom
+	}
+	b := NewBatcher(10*time.Millisecond, exec, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Run(ctx, testSpec(t, "gzip"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || err.Error() != boom.Error() {
+			t.Errorf("waiter %d got %v, want the batch error", i, err)
+		}
+	}
+}
+
+// TestBatcherCancelledWaiterDetaches: a waiter whose context dies returns
+// promptly while the batch still executes for everyone else.
+func TestBatcherCancelledWaiterDetaches(t *testing.T) {
+	executed := make(chan struct{})
+	exec := func(ctx context.Context, specs []experiments.Spec, each func(int, sim.Result, error)) error {
+		defer close(executed)
+		for i := range specs {
+			each(i, sim.Result{Cycles: 1}, nil)
+		}
+		return nil
+	}
+	b := NewBatcher(100*time.Millisecond, exec, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: Run must return before the window flushes
+	if _, err := b.Run(ctx, testSpec(t, "gzip")); err != context.Canceled {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	select {
+	case <-executed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never executed after its waiter cancelled")
+	}
+}

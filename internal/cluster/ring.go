@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// vnodesPerPeer is the number of virtual points each member contributes to
+// the hash ring. More points smooth the key distribution across members;
+// 64 keeps the per-member imbalance in the low single-digit percents while
+// the ring stays a few hundred entries for realistic fleets.
+const vnodesPerPeer = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the member that owns the arc ending there.
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// ring is a consistent-hash ring over member addresses. A key is owned by
+// the first point clockwise of the key's hash; adding or removing one
+// member moves only the arcs adjacent to its points, so a fleet resize
+// remaps ~1/N of the key space instead of reshuffling everything.
+type ring struct {
+	points []ringPoint
+}
+
+// fnv1a is the 64-bit FNV-1a hash — deterministic across processes (ring
+// agreement requires every member to hash identically) and cheap enough to
+// run per request.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// newRing builds a ring over the given member addresses. Duplicate
+// addresses collapse to one member.
+func newRing(addrs []string) *ring {
+	seen := make(map[string]bool, len(addrs))
+	r := &ring{}
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		for i := 0; i < vnodesPerPeer; i++ {
+			// The vnode index is mixed into the hashed string so every
+			// member's points spread independently around the circle.
+			r.points = append(r.points, ringPoint{hash: fnv1a(a + "#" + strconv.Itoa(i)), addr: a})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Equal hashes (vanishingly rare) tie-break on address so every
+		// member sorts the ring identically.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// owner returns the member owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the highest hash
+	}
+	return r.points[i].addr
+}
+
+// members returns the distinct member addresses, sorted.
+func (r *ring) members() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -329,6 +329,19 @@ func (d *Dispatcher) exec(j *job) {
 	j.run(j.ctx)
 }
 
+// OwnerQueued reports how many jobs the named owner has waiting for a
+// worker slot right now — the depth behind that owner's honest Retry-After
+// estimate (a fair-queued client waits behind its own queue, not behind
+// the global backlog).
+func (d *Dispatcher) OwnerQueued(owner string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if oq := d.owners[owner]; oq != nil {
+		return oq.len
+	}
+	return 0
+}
+
 // Stats snapshots the dispatcher counters.
 func (d *Dispatcher) Stats() QueueStats {
 	d.mu.Lock()
@@ -417,18 +430,32 @@ func (a *Admission) TryAdmit() (release func(), ok bool) {
 // admission "generations" are ahead of it, clamped to [1s, 60s]. With no
 // history yet, one second.
 func (a *Admission) RetryAfter() time.Duration {
+	gens := int64(1)
+	if a.cap > 0 {
+		gens = (a.inflight.Load() + a.cap - 1) / a.cap
+	}
+	return a.scaleEstimate(gens)
+}
+
+// RetryAfterFor is the per-owner estimate: the observed average request
+// duration scaled by the rejected owner's own queue depth (how many of
+// *its* jobs wait for a worker), clamped to [1s, 60s]. Under weighted-fair
+// scheduling an owner drains its own queue at its fair rate regardless of
+// the global backlog, so depth-of-own-queue is the honest multiplier where
+// the global generation count would over- or under-shoot.
+func (a *Admission) RetryAfterFor(ownerDepth int) time.Duration {
+	return a.scaleEstimate(int64(ownerDepth))
+}
+
+func (a *Admission) scaleEstimate(n int64) time.Duration {
 	avg := time.Duration(a.avgNs.Load())
 	if avg <= 0 {
 		avg = time.Second
 	}
-	gens := int64(1)
-	if a.cap > 0 {
-		gens = (a.inflight.Load() + a.cap - 1) / a.cap
-		if gens < 1 {
-			gens = 1
-		}
+	if n < 1 {
+		n = 1
 	}
-	est := avg * time.Duration(gens)
+	est := avg * time.Duration(n)
 	if est < time.Second {
 		est = time.Second
 	}

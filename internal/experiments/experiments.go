@@ -168,9 +168,11 @@ type Runner struct {
 
 	// disp is the weighted-fair dispatcher behind SweepEach and
 	// RunDispatched, built lazily on first dispatch so batch sweeps (the
-	// figure goldens, the perf harness) never construct it.
-	dispOnce sync.Once
-	disp     *dispatch.Dispatcher
+	// figure goldens, the perf harness) never construct it. dispMu guards
+	// construction; readers (stats, owner-depth probes) load the pointer
+	// and treat nil as "never dispatched".
+	dispMu sync.Mutex
+	disp   atomic.Pointer[dispatch.Dispatcher]
 
 	// Speculation totals across every epoch-parallel run (see epoch.go).
 	parallelRuns  atomic.Int64

@@ -235,15 +235,39 @@ func (r *Runner) bud() *dispatch.Budget {
 // dispatcher returns the weighted-fair dispatcher over the shared budget,
 // building it on first use so batch Runners never pay for it.
 func (r *Runner) dispatcher() *dispatch.Dispatcher {
-	r.dispOnce.Do(func() { r.disp = dispatch.NewDispatcher(&r.budget) })
+	d := r.disp.Load()
+	if d == nil {
+		r.dispMu.Lock()
+		if d = r.disp.Load(); d == nil {
+			d = dispatch.NewDispatcher(&r.budget)
+			r.disp.Store(d)
+		}
+		r.dispMu.Unlock()
+	}
 	r.budget.SetCap(r.jobs())
-	return r.disp
+	return d
 }
 
 // DispatchStats snapshots the dispatcher's queue, fairness and budget
-// counters — the payload behind secsimd's /metrics "dispatch" section.
+// counters — the payload behind secsimd's /metrics "dispatch" section and
+// secsim's batch-mode stderr line. A Runner that never dispatched (the
+// sequential batch path) reports budget gauges only, without constructing
+// a dispatcher.
 func (r *Runner) DispatchStats() dispatch.QueueStats {
-	return r.dispatcher().Stats()
+	if d := r.disp.Load(); d != nil {
+		return d.Stats()
+	}
+	return dispatch.QueueStats{BudgetCap: r.budget.Cap(), BudgetUsed: r.budget.Used()}
+}
+
+// OwnerQueued reports how many dispatched jobs the named fairness owner
+// has waiting for a worker slot (0 when nothing was ever dispatched) —
+// the per-owner depth behind the admission layer's Retry-After estimate.
+func (r *Runner) OwnerQueued(owner string) int {
+	if d := r.disp.Load(); d != nil {
+		return d.OwnerQueued(owner)
+	}
+	return 0
 }
 
 // dispatchKeys memoizes every key through the weighted-fair dispatcher:
@@ -415,6 +439,17 @@ func ParseSimJobs(s string) (int, error) {
 func (s Spec) key() runKey {
 	return runKey{bench: s.Bench, scheme: s.Scheme.Canonical(), sncKB: s.SNCKB, sncWays: s.SNCWays,
 		l2KB: s.L2KB, l2Ways: s.L2Ways, cryptoLat: s.CryptoLat}
+}
+
+// CanonicalKey renders the spec's memo identity as a string: the same
+// canonicalization the singleflight memo deduplicates on (scheme in
+// canonical registry form), so two specs share a key exactly when they
+// share a memo entry. The cluster fabric consistent-hashes this string to
+// pick the one node that owns the spec's simulation and caches.
+func (s Spec) CanonicalKey() string {
+	k := s.key()
+	return fmt.Sprintf("%s/%s/snc%dKB-%dw/l2-%dKB-%dw/c%d",
+		k.bench, k.scheme, k.sncKB, k.sncWays, k.l2KB, k.l2Ways, k.cryptoLat)
 }
 
 // Run executes (or recalls) the simulation for one spec.

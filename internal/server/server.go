@@ -3,15 +3,19 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"secureproc/internal/api"
+	"secureproc/internal/cluster"
 	"secureproc/internal/core"
 	"secureproc/internal/dispatch"
 	"secureproc/internal/experiments"
@@ -22,7 +26,7 @@ import (
 
 // Config sizes the service's runner. The zero value is a production-ish
 // default: native workload scale, GOMAXPROCS concurrent simulations,
-// unbounded memos, unbounded admission.
+// unbounded memos, unbounded admission, single-node (no cluster).
 type Config struct {
 	// Scale is the workload scale for every simulation (0 = 1.0 native).
 	Scale float64
@@ -53,23 +57,58 @@ type Config struct {
 	// moment it lands, by default; individual requests override with the
 	// "stream" field or an "Accept: application/x-ndjson" header.
 	Stream bool
+	// Cluster, when non-nil, joins this node to a sharded fleet at startup
+	// (equivalent to calling EnableCluster after New).
+	Cluster *ClusterConfig
+}
+
+// ClusterConfig joins the node to a static fleet: requests whose canonical
+// run key hashes to another member are forwarded there, so the fleet's
+// memos partition instead of duplicating.
+type ClusterConfig struct {
+	// Self is this node's advertised host:port on the ring.
+	Self string
+	// Peers lists the other members (self included or not).
+	Peers []string
+	// HopLimit caps forwards per request (0 = cluster.DefaultHopLimit).
+	HopLimit int
+	// ForwardTimeout bounds one forwarded request (0 = default).
+	ForwardTimeout time.Duration
+	// Cooldown is the down-peer probation window (0 = default).
+	Cooldown time.Duration
+	// BatchWindow, when > 0, holds locally-owned /v1/run requests for this
+	// long and executes each window's distinct specs as one batch.
+	BatchWindow time.Duration
+	// Client overrides the forwarding HTTP client (tests).
+	Client *http.Client
+}
+
+// clusterState bundles the fabric with its optional batching window; the
+// server holds it behind one atomic pointer so cluster mode can be enabled
+// after listeners are up (tests learn their addresses first) without racing
+// request handlers.
+type clusterState struct {
+	fabric  *cluster.Fabric
+	batcher *cluster.Batcher
 }
 
 // Server is the secsimd HTTP handler: /v1/run, /v1/sweep,
-// /v1/figures/{name}, /v1/schemes, /v1/benchmarks, /healthz and /metrics.
+// /v1/figures/{name}, /v1/schemes, /v1/benchmarks, /v1/cluster/stats,
+// /healthz and /metrics. See internal/api for the wire contract.
 type Server struct {
 	runner    *experiments.Runner
 	admission *dispatch.Admission
 	stream    bool
 	mux       *http.ServeMux
 	start     time.Time
+	cluster   atomic.Pointer[clusterState]
 
 	// Per-endpoint request counters for /metrics.
-	runReqs, sweepReqs, figureReqs, listReqs, healthReqs, metricReqs atomic.Int64
+	runReqs, sweepReqs, figureReqs, listReqs, healthReqs, metricReqs, clusterReqs atomic.Int64
 }
 
-// New builds the service over a fresh Runner. The only failure mode is an
-// unusable StoreDir.
+// New builds the service over a fresh Runner. Failure modes are an
+// unusable StoreDir or an unusable cluster membership.
 func New(cfg Config) (*Server, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
@@ -98,9 +137,57 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.admit(s.handleFigure))
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/cluster/stats", s.handleClusterStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Method-less fallbacks so a wrong-method request gets the API's 405
+	// envelope (with Allow) instead of the mux's plain-text default, and
+	// everything else gets the 404 envelope.
+	s.mux.HandleFunc("/v1/run", methodNotAllowed(http.MethodPost))
+	s.mux.HandleFunc("/v1/sweep", methodNotAllowed(http.MethodPost))
+	s.mux.HandleFunc("/v1/figures/{name}", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/schemes", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/benchmarks", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/cluster/stats", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/metrics", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, api.Errorf(api.CodeNotFound, "no such endpoint: %s", r.URL.Path))
+	})
+	if cfg.Cluster != nil {
+		if err := s.EnableCluster(*cfg.Cluster); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// EnableCluster joins the node to the fleet described by cfg. It may be
+// called after the listener is up (tests construct servers first, learn
+// their addresses, then wire the ring); requests arriving before it is
+// called execute purely locally.
+func (s *Server) EnableCluster(cfg ClusterConfig) error {
+	f, err := cluster.New(cluster.Config{
+		Self:           cfg.Self,
+		Peers:          cfg.Peers,
+		HopLimit:       cfg.HopLimit,
+		ForwardTimeout: cfg.ForwardTimeout,
+		Cooldown:       cfg.Cooldown,
+		Client:         cfg.Client,
+	})
+	if err != nil {
+		return err
+	}
+	var b *cluster.Batcher
+	if cfg.BatchWindow > 0 {
+		b = f.NewBatcher(cfg.BatchWindow, func(ctx context.Context, specs []experiments.Spec, each func(int, sim.Result, error)) error {
+			// Batches execute under one synthetic fairness owner: the
+			// window already mixed multiple clients' specs together.
+			return s.runner.SweepEach(dispatch.WithOwner(ctx, "cluster-batch", runWeight), specs, each)
+		})
+	}
+	s.cluster.Store(&clusterState{fabric: f, batcher: b})
+	return nil
 }
 
 // Fairness weights for the dispatcher's per-owner queues: one interactive
@@ -112,34 +199,42 @@ const (
 	sweepWeight = 1
 )
 
-// ownerCtx tags the request context for the fairness queue: jobs from the
-// same client (X-Client-ID header, else the remote host) share one queue
-// and compete fairly with every other client's.
-func ownerCtx(r *http.Request, weight int) context.Context {
-	owner := r.Header.Get("X-Client-ID")
+// clientOwner identifies the request's fairness owner: the X-Client-ID
+// header (which the fabric propagates on forwards, so a client keeps one
+// queue fleet-wide), else the remote host.
+func clientOwner(r *http.Request) string {
+	owner := r.Header.Get(api.HeaderClientID)
 	if owner == "" {
 		owner = r.RemoteAddr
 		if host, _, err := net.SplitHostPort(owner); err == nil {
 			owner = host
 		}
 	}
-	return dispatch.WithOwner(r.Context(), owner, weight)
+	return owner
+}
+
+// ownerCtx tags the request context for the fairness queue: jobs from the
+// same client share one queue and compete fairly with every other client's.
+func ownerCtx(r *http.Request, weight int) context.Context {
+	return dispatch.WithOwner(r.Context(), clientOwner(r), weight)
 }
 
 // admit gates a simulation-triggering handler behind the admission cap:
 // beyond MaxAdmit concurrently admitted requests the caller gets 429 with
-// a Retry-After estimate (observed request duration scaled by the backlog)
-// instead of holding queue space. Listings, health and metrics stay
-// un-gated so a saturated service remains observable.
+// a Retry-After estimate instead of holding queue space. The estimate is
+// per-owner — observed request duration scaled by *this client's* queue
+// depth — so a light client behind one heavy sweeper is told to come back
+// in seconds, not after the sweeper's whole backlog. Listings, health and
+// metrics stay un-gated so a saturated service remains observable.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, ok := s.admission.TryAdmit()
 		if !ok {
-			ra := s.admission.RetryAfter()
+			ra := s.admission.RetryAfterFor(s.runner.OwnerQueued(clientOwner(r)))
 			secs := int64((ra + time.Second - 1) / time.Second)
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Errorf("server at admission capacity; retry after %ds", secs))
+			e := api.Errorf(api.CodeOverloaded, "server at admission capacity; retry after %ds", secs)
+			e.RetryAfterS = secs
+			api.WriteError(w, e)
 			return
 		}
 		defer release()
@@ -152,17 +247,45 @@ func (s *Server) Runner() *experiments.Runner { return s.runner }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// writeJSON writes v with status code.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+// writeError maps err onto the API error envelope: an *api.Error passes
+// through unchanged (a forwarded peer's envelope keeps its code), anything
+// else is wrapped under the given default code.
+func writeError(w http.ResponseWriter, code string, err error) {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		api.WriteError(w, ae)
+		return
+	}
+	api.WriteError(w, api.Errorf(code, "%s", err.Error()))
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// methodNotAllowed answers a known route hit with the wrong method.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		api.WriteError(w, api.Errorf(api.CodeMethodNotAllowed, "method %s not allowed on %s; use %s", r.Method, r.URL.Path, allow))
+	}
+}
+
+// checkVersion rejects requests whose X-Secsim-Api-Version header names a
+// contract this node does not speak — a mixed-version fleet fails loudly
+// at the boundary instead of misparsing forwarded payloads.
+func checkVersion(w http.ResponseWriter, r *http.Request) bool {
+	if v := r.Header.Get(api.HeaderAPIVersion); v != "" && v != api.Version {
+		api.WriteError(w, api.Errorf(api.CodeUnsupportedVersion, "api version %q not supported (this node speaks %q)", v, api.Version))
+		return false
+	}
+	return true
+}
+
+// parseHops reads the forward count a request accumulated in the fabric;
+// absent or malformed means it came straight from a client.
+func parseHops(r *http.Request) int {
+	n, err := strconv.Atoi(r.Header.Get(api.HeaderHops))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // await runs fn detached from the request and waits for either the result
@@ -196,79 +319,79 @@ func await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 	}
 }
 
-// RunResponse is the /v1/run payload.
-type RunResponse struct {
-	Spec   SpecJSON   `json:"spec"`
-	Result sim.Result `json:"result"`
-}
-
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.runReqs.Add(1)
-	var req SpecRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !checkVersion(w, r) {
 		return
 	}
-	specs, err := req.specs(false)
+	var req api.RunRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, api.CodeBadRequest, err)
+		return
+	}
+	specs, err := req.Specs(false)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	spec := specs[0]
+	hops := parseHops(r)
+	cs := s.cluster.Load()
+
+	// Cluster routing: a spec owned by a peer forwards there (once, with a
+	// retry); an unreachable owner degrades to local execution rather than
+	// failing the request, and an exhausted hop budget — possible only on
+	// an inconsistent ring — stops the loop by serving locally.
+	if cs != nil {
+		if owner, local := cs.fabric.Owner(spec.CanonicalKey()); !local {
+			if hops >= cs.fabric.HopLimit() {
+				cs.fabric.NoteHopLimit()
+			} else {
+				var out api.RunResponse
+				apiErr, ok := cs.fabric.Forward(r.Context(), owner, "/"+api.Version+"/run", hops,
+					r.Header.Get(api.HeaderClientID), api.RequestOf(spec), &out)
+				if ok {
+					if apiErr != nil {
+						api.WriteError(w, apiErr)
+						return
+					}
+					api.WriteJSON(w, http.StatusOK, out)
+					return
+				}
+				// Owner down: fall through to local execution.
+			}
+		}
+		if hops > 0 {
+			cs.fabric.NoteServedForwarded()
+		}
+	}
+
 	// RunDispatched queues the job under this client's fairness owner and
 	// releases a cancelled caller promptly while a simulation already
-	// underway completes detached into the shared memo — the same detach
-	// semantics await used to provide, now owned by the dispatch layer.
-	res, err := s.runner.RunDispatched(ownerCtx(r, runWeight), spec)
+	// underway completes detached into the shared memo. With a batching
+	// window configured, locally-owned runs instead collect for one window
+	// and execute as a deduplicated batch.
+	var res sim.Result
+	if cs != nil && cs.batcher != nil {
+		res, err = cs.batcher.Run(ownerCtx(r, runWeight), spec)
+	} else {
+		res, err = s.runner.RunDispatched(ownerCtx(r, runWeight), spec)
+	}
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client is gone; nothing useful to write.
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, api.CodeInternal, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RunResponse{Spec: specJSON(spec), Result: res})
-}
-
-// SweepRequest is the /v1/sweep payload: a list of specs, each expandable
-// over benchmarks ("bench": "all" or "gzip,mcf"). Stream, when set,
-// overrides the server's streaming default for this request.
-type SweepRequest struct {
-	Specs  []SpecRequest `json:"specs"`
-	Stream *bool         `json:"stream,omitempty"`
-}
-
-// SweepResponse reports every resolved spec with its result, in request
-// order (benchmark expansion preserves benchmark order).
-type SweepResponse struct {
-	Count   int           `json:"count"`
-	Results []RunResponse `json:"results"`
-}
-
-// StreamLine is one NDJSON line of a streamed sweep: spec i's outcome,
-// emitted the moment its simulation lands. Lines arrive in completion
-// order, not request order; Index maps each back to the expanded spec
-// list. Exactly one of Result and Error is set.
-type StreamLine struct {
-	Index  int         `json:"index"`
-	Spec   SpecJSON    `json:"spec"`
-	Result *sim.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
-}
-
-// StreamTrailer terminates a streamed sweep: Count results landed; Error
-// reports a failure that shed the remaining specs.
-type StreamTrailer struct {
-	Done  bool   `json:"done"`
-	Count int    `json:"count"`
-	Error string `json:"error,omitempty"`
+	api.WriteJSON(w, http.StatusOK, api.RunResponse{Spec: api.SpecOf(spec), Result: res})
 }
 
 // streaming resolves whether this sweep answers as an NDJSON stream: the
 // request's own "stream" field wins, then an Accept asking for NDJSON,
 // then the server's -stream default.
-func (s *Server) streaming(req SweepRequest, r *http.Request) bool {
+func (s *Server) streaming(req api.SweepRequest, r *http.Request) bool {
 	if req.Stream != nil {
 		return *req.Stream
 	}
@@ -280,46 +403,161 @@ func (s *Server) streaming(req SweepRequest, r *http.Request) bool {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepReqs.Add(1)
-	var req SweepRequest
+	if !checkVersion(w, r) {
+		return
+	}
+	var req api.SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.CodeBadRequest, err)
 		return
 	}
 	if len(req.Specs) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one spec"))
+		writeError(w, api.CodeBadRequest, fmt.Errorf("sweep needs at least one spec"))
 		return
 	}
 	var specs []experiments.Spec
 	for i, sr := range req.Specs {
-		expanded, err := sr.specs(true)
+		expanded, err := sr.Specs(true)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			writeError(w, api.CodeBadRequest, fmt.Errorf("spec %d: %w", i, err))
 			return
 		}
 		specs = append(specs, expanded...)
 	}
+	hops := parseHops(r)
+	cs := s.cluster.Load()
+	if cs != nil && hops > 0 {
+		cs.fabric.NoteServedForwarded()
+	}
+
+	// runAll fans the expanded specs out — sharded across the ring when
+	// cluster mode is on, straight through the fair dispatcher otherwise —
+	// and reports each outcome through emit exactly once. Callbacks are
+	// serialized in both paths.
+	runAll := func(emit func(i int, res sim.Result, err error)) error {
+		if cs == nil {
+			return s.runner.SweepEach(ownerCtx(r, sweepWeight), specs, emit)
+		}
+		return s.sweepCluster(cs, r, specs, hops, emit)
+	}
+
 	if s.streaming(req, r) {
-		s.streamSweep(w, r, specs)
+		s.streamSweep(w, r, specs, runAll)
 		return
 	}
 	// Buffered mode still fans out through the fair dispatcher under the
 	// request context: a client that gives up sheds its queued specs (the
 	// backpressure point of admission control) while specs already
 	// simulating complete detached and stay memoized for the next caller.
-	results := make([]RunResponse, len(specs))
-	err := s.runner.SweepEach(ownerCtx(r, sweepWeight), specs, func(i int, res sim.Result, err error) {
+	results := make([]api.RunResponse, len(specs))
+	err := runAll(func(i int, res sim.Result, err error) {
 		if err == nil {
-			results[i] = RunResponse{Spec: specJSON(specs[i]), Result: res}
+			results[i] = api.RunResponse{Spec: api.SpecOf(specs[i]), Result: res}
 		}
 	})
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, api.CodeInternal, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SweepResponse{Count: len(specs), Results: results})
+	api.WriteJSON(w, http.StatusOK, api.SweepResponse{Count: len(specs), Results: results})
+}
+
+// sweepCluster shards one expanded sweep across the ring: each peer-owned
+// group of specs forwards as one buffered sub-sweep (in parallel, with the
+// usual down-peer degradation to local execution), while locally-owned
+// specs run through this node's dispatcher. emit is serialized internally.
+func (s *Server) sweepCluster(cs *clusterState, r *http.Request, specs []experiments.Spec, hops int, emit func(i int, res sim.Result, err error)) error {
+	f := cs.fabric
+	atLimit := hops >= f.HopLimit()
+	groups := make(map[string][]int)
+	var localIdx []int
+	for i, sp := range specs {
+		owner, local := f.Owner(sp.CanonicalKey())
+		switch {
+		case local:
+			localIdx = append(localIdx, i)
+		case atLimit:
+			f.NoteHopLimit()
+			localIdx = append(localIdx, i)
+		default:
+			groups[owner] = append(groups[owner], i)
+		}
+	}
+
+	var mu sync.Mutex // serializes emit across the per-owner goroutines
+	safeEmit := func(i int, res sim.Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(i, res, err)
+	}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	recordErr := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	runLocally := func(idx []int) {
+		group := make([]experiments.Spec, len(idx))
+		for j, i := range idx {
+			group[j] = specs[i]
+		}
+		err := s.runner.SweepEach(ownerCtx(r, sweepWeight), group, func(j int, res sim.Result, err error) {
+			safeEmit(idx[j], res, err)
+		})
+		if err != nil {
+			recordErr(err)
+		}
+	}
+
+	clientID := r.Header.Get(api.HeaderClientID)
+	noStream := false
+	var wg sync.WaitGroup
+	for addr, idx := range groups {
+		wg.Add(1)
+		go func(addr string, idx []int) {
+			defer wg.Done()
+			sub := api.SweepRequest{Stream: &noStream}
+			for _, i := range idx {
+				sub.Specs = append(sub.Specs, api.RequestOf(specs[i]))
+			}
+			var out api.SweepResponse
+			apiErr, ok := f.Forward(r.Context(), addr, "/"+api.Version+"/sweep", hops, clientID, sub, &out)
+			switch {
+			case ok && apiErr == nil:
+				for j, i := range idx {
+					// A zero entry means the peer's sub-sweep dropped the
+					// spec (its per-spec failure mode in buffered mode).
+					if j < len(out.Results) && out.Results[j].Spec.Bench != "" {
+						safeEmit(i, out.Results[j].Result, nil)
+					} else {
+						safeEmit(i, sim.Result{}, fmt.Errorf("peer %s failed spec %d", addr, i))
+					}
+				}
+			case ok:
+				// Clean API error from a healthy peer (e.g. its admission
+				// gate): propagate per spec rather than bypassing it.
+				for _, i := range idx {
+					safeEmit(i, sim.Result{}, apiErr)
+				}
+			default:
+				// Owner down: degrade this group to local execution.
+				runLocally(idx)
+			}
+		}(addr, idx)
+	}
+	if len(localIdx) > 0 {
+		runLocally(localIdx)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // streamSweep answers a sweep as NDJSON: one StreamLine per spec as its
@@ -327,7 +565,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // bounded by one simulation, not the whole fan-out, and a slow consumer
 // never holds worker slots — lines buffer in the HTTP layer while the
 // dispatcher keeps draining jobs.
-func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []experiments.Spec) {
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []experiments.Spec, runAll func(emit func(i int, res sim.Result, err error)) error) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -336,10 +574,10 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []exp
 	}
 	enc := json.NewEncoder(w)
 	count := 0
-	// SweepEach serializes callbacks, so the encoder and flusher are never
-	// written concurrently.
-	err := s.runner.SweepEach(ownerCtx(r, sweepWeight), specs, func(i int, res sim.Result, err error) {
-		line := StreamLine{Index: i, Spec: specJSON(specs[i])}
+	// Both runAll paths serialize callbacks, so the encoder and flusher
+	// are never written concurrently.
+	err := runAll(func(i int, res sim.Result, err error) {
+		line := api.StreamLine{Index: i, Spec: api.SpecOf(specs[i])}
 		if err != nil {
 			line.Error = err.Error()
 		} else {
@@ -356,7 +594,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []exp
 		// simulations finish detached into the memo; nothing to write.
 		return
 	}
-	trailer := StreamTrailer{Done: true, Count: count}
+	trailer := api.StreamTrailer{Done: true, Count: count}
 	if err != nil {
 		trailer.Error = err.Error()
 	}
@@ -364,14 +602,6 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []exp
 	if fl != nil {
 		fl.Flush()
 	}
-}
-
-// FigureResponse is the /v1/figures/{name} payload.
-type FigureResponse struct {
-	Name     string `json:"name"`
-	ID       string `json:"id"`
-	Title    string `json:"title"`
-	Rendered string `json:"rendered"`
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -385,9 +615,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		case r.Context().Err() != nil:
 			return
 		case strings.Contains(err.Error(), "unknown figure"):
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, api.CodeNotFound, err)
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, api.CodeInternal, err)
 		}
 		return
 	}
@@ -396,90 +626,48 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, fr.Render())
 		return
 	}
-	writeJSON(w, http.StatusOK, FigureResponse{Name: name, ID: fr.ID, Title: fr.Title, Rendered: fr.Render()})
-}
-
-// SchemeInfo is one /v1/schemes entry.
-type SchemeInfo struct {
-	Name    string   `json:"name"`
-	Doc     string   `json:"doc"`
-	Aliases []string `json:"aliases,omitempty"`
+	api.WriteJSON(w, http.StatusOK, api.FigureResponse{Name: name, ID: fr.ID, Title: fr.Title, Rendered: fr.Render()})
 }
 
 func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	s.listReqs.Add(1)
 	ds := core.Descriptors()
-	out := make([]SchemeInfo, 0, len(ds))
+	out := make([]api.SchemeInfo, 0, len(ds))
 	for _, d := range ds {
-		out = append(out, SchemeInfo{Name: d.Name, Doc: d.Doc, Aliases: d.Aliases})
+		out = append(out, api.SchemeInfo{Name: d.Name, Doc: d.Doc, Aliases: d.Aliases})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"schemes": out})
+	api.WriteJSON(w, http.StatusOK, api.SchemesResponse{Schemes: out})
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	s.listReqs.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": workload.BenchmarkNames})
+	api.WriteJSON(w, http.StatusOK, api.BenchmarksResponse{Benchmarks: workload.BenchmarkNames})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.healthReqs.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
+	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
 
-// Metrics is the expvar-style /metrics payload.
-type Metrics struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      map[string]int64 `json:"requests_total"`
-	// Simulations counts simulations actually executed (memo misses that
-	// ran to completion started; hits and coalesced waiters don't add).
-	Simulations int64 `json:"simulations_total"`
-	// InFlightSims is the number of simulations executing right now.
-	InFlightSims int `json:"in_flight_sims"`
-	// ResultMemo and TraceMemo expose the singleflight caches' lifecycle
-	// counters (size, capacity, hits, misses, coalesced, evictions).
-	ResultMemo experiments.CacheStats `json:"result_memo"`
-	TraceMemo  experiments.CacheStats `json:"trace_memo"`
-	// ResultStore exposes the persistent warm-start store's counters
-	// (hits, misses, corrupt entries, writes); absent when no -store
-	// directory is configured.
-	ResultStore *store.Stats `json:"result_store,omitempty"`
-	// Checkpoints exposes the process-wide post-warmup checkpoint cache.
-	Checkpoints experiments.CheckpointStats `json:"checkpoints"`
-	// Speculation aggregates the epoch-parallel bookkeeping across every
-	// simulation this runner dispatched wide (zero when SimJobs is off or
-	// the budget never had slack).
-	Speculation experiments.SpeculationTotals `json:"speculation"`
-	// EpochSims exposes the process-wide epoch-simulator cache backing the
-	// speculative runs.
-	EpochSims experiments.EpochCacheStats `json:"epoch_sims"`
-	// Dispatch exposes the execution dispatch layer: the admission gate
-	// (rejections become 429s) and the weighted-fair queue over the shared
-	// worker budget.
-	Dispatch DispatchMetrics `json:"dispatch"`
-	// Runtime exposes Go runtime gauges so saturation (goroutine pileup,
-	// heap growth, GC pressure) is diagnosable from /metrics alone.
-	Runtime RuntimeMetrics `json:"runtime"`
+// handleClusterStats serves this node's raw cluster counters — the block a
+// peer's fleet rollup sums. 404 on single-node deployments.
+func (s *Server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	s.clusterReqs.Add(1)
+	cs := s.cluster.Load()
+	if cs == nil {
+		api.WriteError(w, api.Errorf(api.CodeNotFound, "cluster mode is off (no -peers)"))
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, cs.fabric.LocalStats(s.runner.Simulations()))
 }
 
-// DispatchMetrics groups the dispatch layer's counters for /metrics.
-type DispatchMetrics struct {
-	Admission dispatch.AdmissionStats `json:"admission"`
-	Queue     dispatch.QueueStats     `json:"queue"`
-}
-
-// RuntimeMetrics is a point-in-time snapshot of Go runtime gauges.
-type RuntimeMetrics struct {
-	Goroutines     int    `json:"goroutines"`
-	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
-	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
-	NumGC          uint32 `json:"num_gc"`
-}
-
-// MetricsSnapshot assembles the current metrics (also used by tests).
-func (s *Server) MetricsSnapshot() Metrics {
+// MetricsSnapshot assembles the current metrics (also used by tests). The
+// cluster block, when present, covers this node's ring view; the fleet
+// rollup is filled in by handleMetrics (it polls peers).
+func (s *Server) MetricsSnapshot() api.Metrics {
 	rm := s.runner.MemoStats()
 	var storeStats *store.Stats
 	if s.runner.Store != nil {
@@ -488,7 +676,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return Metrics{
+	m := api.Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: map[string]int64{
 			"run":      s.runReqs.Load(),
@@ -497,6 +685,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 			"listings": s.listReqs.Load(),
 			"healthz":  s.healthReqs.Load(),
 			"metrics":  s.metricReqs.Load(),
+			"cluster":  s.clusterReqs.Load(),
 		},
 		Simulations:  s.runner.Simulations(),
 		InFlightSims: rm.InFlight,
@@ -506,20 +695,33 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Checkpoints:  experiments.CheckpointCacheStats(),
 		Speculation:  s.runner.SpeculationStats(),
 		EpochSims:    experiments.EpochSimCacheStats(),
-		Dispatch: DispatchMetrics{
+		Dispatch: api.DispatchMetrics{
 			Admission: s.admission.Stats(),
 			Queue:     s.runner.DispatchStats(),
 		},
-		Runtime: RuntimeMetrics{
+		Runtime: api.RuntimeMetrics{
 			Goroutines:     runtime.NumGoroutine(),
 			HeapAllocBytes: ms.HeapAlloc,
 			GCPauseTotalNs: ms.PauseTotalNs,
 			NumGC:          ms.NumGC,
 		},
 	}
+	if cs := s.cluster.Load(); cs != nil {
+		m.Cluster = &api.ClusterMetrics{
+			Self:     cs.fabric.Self(),
+			HopLimit: cs.fabric.HopLimit(),
+			Local:    cs.fabric.LocalStats(m.Simulations),
+			Peers:    cs.fabric.PeerMetrics(),
+		}
+	}
+	return m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metricReqs.Add(1)
-	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	m := s.MetricsSnapshot()
+	if cs := s.cluster.Load(); cs != nil && m.Cluster != nil {
+		m.Cluster.Fleet = cs.fabric.Rollup(r.Context(), m.Cluster.Local)
+	}
+	api.WriteJSON(w, http.StatusOK, m)
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"secureproc/internal/api"
 	"secureproc/internal/sim"
 )
 
@@ -71,7 +72,7 @@ func TestRunEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var rr RunResponse
+	var rr api.RunResponse
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -133,7 +134,7 @@ func TestRunCoalescesConcurrentDuplicates(t *testing.T) {
 				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, b)
 				return
 			}
-			var rr RunResponse
+			var rr api.RunResponse
 			if err := json.Unmarshal(b, &rr); err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
@@ -178,7 +179,7 @@ func TestEvictionUnderSmallCapacity(t *testing.T) {
 	run("gzip")
 	run("mcf")  // evicts gzip
 	run("gzip") // misses again, evicts mcf
-	var m Metrics
+	var m api.Metrics
 	getJSON(t, ts.URL+"/metrics", &m)
 	rm := m.ResultMemo
 	if rm.Capacity != 1 || rm.Size != 1 {
@@ -238,7 +239,7 @@ func TestSweepEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var sr SweepResponse
+	var sr api.SweepResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestGracefulShutdownDrainsSweep(t *testing.T) {
 	if r.status != http.StatusOK {
 		t.Fatalf("drained sweep status %d: %s", r.status, r.body)
 	}
-	var sr SweepResponse
+	var sr api.SweepResponse
 	if err := json.Unmarshal(r.body, &sr); err != nil {
 		t.Fatalf("drained sweep body truncated: %v", err)
 	}
@@ -339,7 +340,7 @@ func TestGracefulShutdownDrainsSweep(t *testing.T) {
 func TestListingsAndHealth(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	var schemes struct {
-		Schemes []SchemeInfo `json:"schemes"`
+		Schemes []api.SchemeInfo `json:"schemes"`
 	}
 	getJSON(t, ts.URL+"/v1/schemes", &schemes)
 	found := false
@@ -369,7 +370,7 @@ func TestListingsAndHealth(t *testing.T) {
 
 func TestFigureEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Jobs: 4})
-	var fr FigureResponse
+	var fr api.FigureResponse
 	getJSON(t, ts.URL+"/v1/figures/fig3", &fr)
 	if fr.ID != "Figure 3" || !strings.Contains(fr.Rendered, "Figure 3") {
 		t.Errorf("figure response %+v", fr)
@@ -419,7 +420,7 @@ func TestStoreWarmRestart(t *testing.T) {
 	if !bytes.Equal(b, b2) {
 		t.Errorf("restarted response differs:\nfirst:  %s\nsecond: %s", b, b2)
 	}
-	var m Metrics
+	var m api.Metrics
 	getJSON(t, ts2.URL+"/metrics", &m)
 	if m.ResultStore == nil {
 		t.Fatal("/metrics missing result_store with a store configured")
@@ -465,7 +466,7 @@ func TestSimJobsSpeculationMetrics(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var rr RunResponse
+	var rr api.RunResponse
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,11 @@
 // Package server implements secsimd: a long-lived HTTP/JSON service over
-// the experiment engine. Requests for the same configuration coalesce onto
-// one simulation through the Runner's singleflight memo, cancelled
-// requests detach promptly while the shared simulation runs on, and the
-// memo's lifecycle counters are exported on /metrics.
+// the experiment engine, speaking the versioned wire contract defined in
+// internal/api. Requests for the same configuration coalesce onto one
+// simulation through the Runner's singleflight memo, cancelled requests
+// detach promptly while the shared simulation runs on, and the memo's
+// lifecycle counters are exported on /metrics. With cluster mode enabled
+// (-peers), each request is routed across the fleet on a consistent-hash
+// ring so the memos partition exactly-once across instances.
 package server
 
 import (
@@ -10,94 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-
-	"secureproc/internal/experiments"
-	"secureproc/internal/sim"
 )
-
-// SpecRequest is the wire form of an experiments.Spec. Omitted fields
-// default to the paper's standard configuration (64KB fully associative
-// SNC, 256KB 4-way L2, 50-cycle crypto). In sweep requests, Bench may also
-// be a comma-separated list or "all", expanding to one spec per benchmark.
-type SpecRequest struct {
-	Bench  string  `json:"bench"`
-	Scheme string  `json:"scheme"`
-	SNCKB  *int    `json:"snc_kb,omitempty"`
-	SNCWay *int    `json:"snc_ways,omitempty"`
-	L2KB   *int    `json:"l2_kb,omitempty"`
-	L2Way  *int    `json:"l2_ways,omitempty"`
-	Crypto *uint64 `json:"crypto_lat,omitempty"`
-}
-
-// SpecJSON is the canonical echo of a resolved spec in responses: every
-// field populated, the scheme in canonical registry form.
-type SpecJSON struct {
-	Bench  string `json:"bench"`
-	Scheme string `json:"scheme"`
-	SNCKB  int    `json:"snc_kb"`
-	SNCWay int    `json:"snc_ways"`
-	L2KB   int    `json:"l2_kb"`
-	L2Way  int    `json:"l2_ways"`
-	Crypto uint64 `json:"crypto_lat"`
-}
-
-func specJSON(s experiments.Spec) SpecJSON {
-	return SpecJSON{
-		Bench:  s.Bench,
-		Scheme: s.Scheme.Canonical(),
-		SNCKB:  s.SNCKB,
-		SNCWay: s.SNCWays,
-		L2KB:   s.L2KB,
-		L2Way:  s.L2Ways,
-		Crypto: s.CryptoLat,
-	}
-}
-
-// specs resolves the request against the registries, expanding the bench
-// field (one name in run requests, optionally a list or "all" in sweeps).
-func (sr SpecRequest) specs(expandBench bool) ([]experiments.Spec, error) {
-	if sr.Bench == "" {
-		return nil, fmt.Errorf("spec needs a bench")
-	}
-	if sr.Scheme == "" {
-		return nil, fmt.Errorf("spec needs a scheme")
-	}
-	benches, err := experiments.ExpandBenches(sr.Bench)
-	if err != nil {
-		return nil, err
-	}
-	if !expandBench && len(benches) != 1 {
-		return nil, fmt.Errorf("run wants exactly one benchmark, got %d (%q); use /v1/sweep for lists", len(benches), sr.Bench)
-	}
-	ref, err := sim.SchemeByName(sr.Scheme)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]experiments.Spec, 0, len(benches))
-	for _, b := range benches {
-		s := experiments.DefaultSpec(b, ref)
-		if sr.SNCKB != nil {
-			s.SNCKB = *sr.SNCKB
-		}
-		if sr.SNCWay != nil {
-			s.SNCWays = *sr.SNCWay
-		}
-		if sr.L2KB != nil {
-			s.L2KB = *sr.L2KB
-		}
-		if sr.L2Way != nil {
-			s.L2Ways = *sr.L2Way
-		}
-		if sr.Crypto != nil {
-			s.CryptoLat = *sr.Crypto
-		}
-		if err := s.Validate(); err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
-}
 
 // maxBodyBytes bounds request bodies; sweep lists are small JSON.
 const maxBodyBytes = 1 << 20

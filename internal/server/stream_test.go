@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"secureproc/internal/api"
 	"secureproc/internal/workload"
 )
 
@@ -62,7 +63,7 @@ func TestStreamedSweepFirstResultBeforeSweepCompletes(t *testing.T) {
 	if !sc.Scan() {
 		t.Fatalf("no first line: %v", sc.Err())
 	}
-	var first StreamLine
+	var first api.StreamLine
 	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
 		t.Fatalf("first line %q: %v", sc.Text(), err)
 	}
@@ -76,15 +77,15 @@ func TestStreamedSweepFirstResultBeforeSweepCompletes(t *testing.T) {
 	}
 
 	seen := map[int]bool{first.Index: true}
-	var trailer *StreamTrailer
+	var trailer *api.StreamTrailer
 	for sc.Scan() {
 		line := sc.Bytes()
-		var tr StreamTrailer
+		var tr api.StreamTrailer
 		if err := json.Unmarshal(line, &tr); err == nil && tr.Done {
 			trailer = &tr
 			break
 		}
-		var sl StreamLine
+		var sl api.StreamLine
 		if err := json.Unmarshal(line, &sl); err != nil {
 			t.Fatalf("line %q: %v", line, err)
 		}
@@ -143,7 +144,7 @@ func TestStreamNegotiation(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
 		t.Errorf(`"stream":false on a -stream server: Content-Type %q, want buffered JSON`, ct)
 	}
-	var sr SweepResponse
+	var sr api.SweepResponse
 	if err := json.Unmarshal(b, &sr); err != nil || sr.Count != 1 {
 		t.Errorf("buffered override response = (%+v, %v), want one buffered result", sr, err)
 	}
@@ -256,7 +257,7 @@ func TestAdmissionCapRejectsWithRetryAfter(t *testing.T) {
 		}
 		hr.Body.Close()
 	}
-	var m Metrics
+	var m api.Metrics
 	getJSON(t, ts.URL+"/metrics", &m)
 	if m.Dispatch.Admission.Cap != 1 || m.Dispatch.Admission.Rejected < 1 {
 		t.Errorf("admission metrics = %+v, want cap 1 and >= 1 rejection", m.Dispatch.Admission)
@@ -315,7 +316,7 @@ func TestInteractiveRunNotStarvedByBulkSweep(t *testing.T) {
 
 	lines := 1
 	for sc.Scan() {
-		var tr StreamTrailer
+		var tr api.StreamTrailer
 		if err := json.Unmarshal(sc.Bytes(), &tr); err == nil && tr.Done {
 			break
 		}
