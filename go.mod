@@ -1,3 +1,5 @@
 module secureproc
 
 go 1.24
+
+tool secureproc/cmd/secvet

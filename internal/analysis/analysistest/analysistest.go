@@ -1,0 +1,210 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want "regexp" comments — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the repo's stdlib-only framework.
+//
+// Fixtures live under <dir>/src/<pkg>/*.go. A line expecting one or
+// more diagnostics carries
+//
+//	code() // want "first regexp" "second regexp"
+//
+// Every reported diagnostic must match a want on its line and every
+// want must be matched exactly once; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"secureproc/internal/analysis"
+)
+
+// Run loads the named fixture packages (dependency order) from
+// dir/src/<pkg> and applies the analyzer, matching diagnostics against
+// want comments across all of them.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := load(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, prog, diags)
+}
+
+func load(dir string, pkgs []string) (*analysis.Program, error) {
+	var specs []analysis.SourceSpec
+	importSet := make(map[string]bool)
+	fixture := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		fixture[p] = true
+	}
+	for _, p := range pkgs {
+		srcDir := filepath.Join(dir, "src", p)
+		entries, err := os.ReadDir(srcDir)
+		if err != nil {
+			return nil, err
+		}
+		spec := analysis.SourceSpec{Path: p, Dir: srcDir}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				spec.Files = append(spec.Files, e.Name())
+				for _, imp := range fileImports(filepath.Join(srcDir, e.Name())) {
+					if !fixture[imp] && imp != "unsafe" {
+						importSet[imp] = true
+					}
+				}
+			}
+		}
+		specs = append(specs, spec)
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := analysis.ExportData(dir, imports...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.LoadSpecs(specs, exports)
+}
+
+// fileImports extracts the import paths of one file textually (a full
+// parse happens later in LoadSpecs; this pass only feeds `go list`).
+var importRE = regexp.MustCompile(`(?m)^\s*(?:[A-Za-z_.][A-Za-z0-9_]*\s+)?"([^"]+)"\s*$|^import\s+(?:[A-Za-z_.][A-Za-z0-9_]*\s+)?"([^"]+)"`)
+
+func fileImports(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	src := string(data)
+	// Only scan the import section: up to the first func/type/var/const.
+	if i := regexp.MustCompile(`(?m)^(func|type|var|const)\b`).FindStringIndex(src); i != nil {
+		src = src[:i[0]]
+	}
+	var out []string
+	for _, m := range importRE.FindAllStringSubmatch(src, -1) {
+		for _, g := range m[1:] {
+			if g != "" {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func check(t *testing.T, prog *analysis.Program, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					for _, raw := range splitQuoted(m[1]) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						wants[k] = append(wants[k], &want{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after "want";
+// both interpreted ("re") and raw (`re`) forms are accepted.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			panic(fmt.Sprintf("bad quoted want %q: %v", s[:end+1], err))
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

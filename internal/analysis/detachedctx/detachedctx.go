@@ -1,0 +1,78 @@
+// Package detachedctx polices context detachment: context.Background()
+// and context.TODO() sever cancellation propagation, so outside the
+// audited detachment seams — memo owners that must outlive a cancelled
+// request, shed sweeps, process roots in main packages — every new use
+// is flagged. An intentional seam carries //secsim:detach <reason> on
+// the enclosing function; everything else must thread the caller's
+// context through.
+package detachedctx
+
+import (
+	"go/ast"
+
+	"secureproc/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// AllowMain exempts package main (process roots: signal contexts,
+	// shutdown timeouts, CLI-driven sweeps legitimately start at
+	// Background).
+	AllowMain bool
+}
+
+// DefaultConfig is the repo's production configuration.
+var DefaultConfig = Config{AllowMain: true}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultConfig)
+
+// New builds a detachedctx analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detachedctx",
+		Doc:  "ban context.Background/TODO outside annotated detachment seams",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if cfg.AllowMain && pass.Pkg.Types.Name() == "main" {
+			return nil
+		}
+		run(pass)
+		return nil
+	}
+	return a
+}
+
+func run(pass *analysis.Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			name := callee.FullName()
+			if name != "context.Background" && name != "context.TODO" {
+				return true
+			}
+			if fd := pkg.FuncFor(call.Pos()); fd != nil {
+				if _, ok := pkg.FuncAnnotation(fd, analysis.VerbDetach); ok {
+					return true
+				}
+			}
+			if _, ok := pkg.NodeAnnotation(call, analysis.VerbDetach); ok {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos:      pass.Fset.Position(call.Pos()),
+				Analyzer: "detachedctx",
+				Message:  "context." + callee.Name() + "() severs cancellation; thread the caller's context, or mark the seam //secsim:detach <reason>",
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,20 @@
+package detachedctx_test
+
+import (
+	"testing"
+
+	"secureproc/internal/analysis/analysistest"
+	"secureproc/internal/analysis/detachedctx"
+)
+
+func TestDetachedCtx(t *testing.T) {
+	a := detachedctx.New(detachedctx.Config{AllowMain: true})
+	analysistest.Run(t, "testdata", a, "detachpkg", "mainprog")
+}
+
+func TestDetachedCtxStrict(t *testing.T) {
+	// With AllowMain off the main fixture would report; keep it scoped to
+	// the library fixture to check the config plumbing both ways.
+	a := detachedctx.New(detachedctx.Config{AllowMain: false})
+	analysistest.Run(t, "testdata", a, "detachpkg")
+}

@@ -1,0 +1,22 @@
+// Package detachpkg is the detachedctx fixture: a library package where
+// context detachment needs an annotated seam.
+package detachpkg
+
+import "context"
+
+func leak() {
+	_ = context.Background() // want `context\.Background\(\) severs cancellation`
+	_ = context.TODO()       // want `context\.TODO\(\) severs cancellation`
+}
+
+// seam owns a memo that must outlive any one request.
+//
+//secsim:detach memo owner outlives the requesting sweep
+func seam() context.Context {
+	return context.Background()
+}
+
+func lineSeam() {
+	ctx := context.Background() //secsim:detach shed sweep detaches from the admission context deliberately
+	_ = ctx
+}

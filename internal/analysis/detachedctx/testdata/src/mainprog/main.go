@@ -1,0 +1,10 @@
+// Command mainprog shows the package-main allowance: process roots
+// legitimately start at Background.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+	_ = context.TODO()
+}

@@ -1,0 +1,127 @@
+// Package determinism protects the byte-identical goldens structurally:
+// inside the timing-model packages (internal/sim, internal/snc,
+// internal/cache, internal/mem, internal/stats) and inside any function
+// annotated //secsim:deterministic (figure rendering), it flags wall
+// clock reads (time.Now/Since/Until), unseeded global rand.* calls, and
+// range over a map — iteration order would leak into rendered, golden
+// or wire output. Seeded sources (methods on a *rand.Rand built from
+// rand.New(rand.NewSource(seed))) are allowed; an audited exception
+// carries //secsim:nondet <reason>.
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"secureproc/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Packages are import paths checked wholesale; functions anywhere
+	// else opt in with //secsim:deterministic.
+	Packages []string
+}
+
+// DefaultConfig covers the packages whose behavior the goldens hash.
+var DefaultConfig = Config{
+	Packages: []string{
+		"secureproc/internal/sim",
+		"secureproc/internal/snc",
+		"secureproc/internal/cache",
+		"secureproc/internal/mem",
+		"secureproc/internal/stats",
+	},
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultConfig)
+
+// New builds a determinism analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "determinism",
+		Doc:  "flag wall clocks, unseeded rand and map iteration in golden-feeding code",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		run(cfg, pass)
+		return nil
+	}
+	return a
+}
+
+// randConstructor names the math/rand and math/rand/v2 package-level
+// functions that build explicitly seeded sources rather than drawing
+// from the global one.
+var randConstructor = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(cfg Config, pass *analysis.Pass) {
+	pkg := pass.Pkg
+	wholePkg := analysis.PathIn(pkg.Path, cfg.Packages)
+	report := func(x ast.Node, format string, args ...any) {
+		if _, ok := pkg.NodeAnnotation(x, analysis.VerbNondet); ok {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:      pass.Fset.Position(x.Pos()),
+			Analyzer: "determinism",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !wholePkg {
+				if _, ok := pkg.FuncAnnotation(fd, analysis.VerbDeterministic); !ok {
+					continue
+				}
+			}
+			checkFunc(pkg, fd, report)
+		}
+	}
+}
+
+func checkFunc(pkg *analysis.Package, fd *ast.FuncDecl, report func(ast.Node, string, ...any)) {
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			callee := analysis.Callee(pkg.Info, x)
+			if callee == nil {
+				return true
+			}
+			switch analysis.FuncPkgPath(callee) {
+			case "time":
+				switch callee.Name() {
+				case "Now", "Since", "Until":
+					report(x, "time.%s reads the wall clock; deterministic code must not", callee.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level draws use the shared unseeded source.
+				// Constructors (rand.New, rand.NewSource, ...) and methods
+				// on the explicitly seeded sources they build are the
+				// reproducible path and stay allowed.
+				sig, ok := callee.Type().(*types.Signature)
+				if ok && sig.Recv() == nil && !randConstructor[callee.Name()] {
+					report(x, "%s.%s draws from the global unseeded source; use a seeded rand.New(rand.NewSource(seed))", analysis.FuncPkgPath(callee), callee.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if x.X != nil {
+				if _, isMap := pkg.Info.TypeOf(x.X).Underlying().(*types.Map); isMap {
+					report(x, "map iteration order is nondeterministic; sort the keys before ranging")
+				}
+			}
+		}
+		return true
+	})
+}

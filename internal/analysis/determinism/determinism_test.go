@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"secureproc/internal/analysis/analysistest"
+	"secureproc/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := determinism.New(determinism.Config{Packages: []string{"det"}})
+	analysistest.Run(t, "testdata", a, "det", "free")
+}

@@ -1,0 +1,33 @@
+// Package det is the determinism fixture: a package inside the
+// analyzer's scope, checked wholesale.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Duration {
+	t := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t) // want `time\.Since reads the wall clock`
+}
+
+func draw() int {
+	return rand.Int() // want `math/rand\.Int draws from the global unseeded source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+func iterate(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	for _, v := range m { //secsim:nondet order-independent sum, audited
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,16 @@
+// Package free is outside the determinism scope: only the function
+// opting in via //secsim:deterministic is checked.
+package free
+
+import "time"
+
+func unscoped() time.Time {
+	return time.Now()
+}
+
+// render feeds figure output, so it opts in.
+//
+//secsim:deterministic
+func render() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,298 @@
+// Package hotpathalloc statically enforces the repo's steady-state
+// allocation discipline (AllocsPerRun == 0 on the per-instruction path,
+// PR 4): every function reachable by direct calls from the configured
+// roots — sim.System.Step and sim.System.ContextSwitch — or annotated
+// //secsim:hotpath may not contain heap-allocating constructs.
+//
+// Flagged constructs: calls into fmt/log, append, make/new, map and
+// slice composite literals, escaping (&T{...}) composite literals, map
+// writes, closures, go statements, string concatenation, string<->byte
+// conversions, and interface boxing (explicit conversions and arguments
+// boxed into interface variadics).
+//
+// The runtime AllocsPerRun tests prove specific code paths allocate
+// zero; this analyzer proves every *other* path through the hot
+// functions cannot reintroduce an allocation without either failing vet
+// or carrying an audited //secsim:allowalloc reason (amortized scratch
+// growth, cold error branches).
+//
+// Interface method calls (scheme.ReadLine and friends) are not
+// traversed — the registry makes the callee an open set — so each
+// scheme's hot entry points carry explicit //secsim:hotpath roots.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"secureproc/internal/analysis"
+)
+
+// Config parameterizes the analyzer (tests aim it at fixture roots).
+type Config struct {
+	// Roots are types.Func FullName keys whose bodies seed reachability,
+	// in addition to every //secsim:hotpath-annotated function.
+	Roots []string
+	// AllocPkgs are packages any call into which is flagged outright.
+	AllocPkgs []string
+}
+
+// DefaultConfig is the repo's production configuration.
+var DefaultConfig = Config{
+	Roots: []string{
+		"(*secureproc/internal/sim.System).Step",
+		"(*secureproc/internal/sim.System).ContextSwitch",
+	},
+	AllocPkgs: []string{"fmt", "log"},
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultConfig)
+
+// New builds a hotpathalloc analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "forbid heap-allocating constructs in functions reachable from the simulation hot path",
+	}
+	a.RunProgram = func(pass *analysis.ProgramPass) error {
+		run(cfg, pass)
+		return nil
+	}
+	return a
+}
+
+// node is one declared function body in the program.
+type node struct {
+	pkg     *analysis.Package
+	decl    *ast.FuncDecl
+	callees []string
+}
+
+func run(cfg Config, pass *analysis.ProgramPass) {
+	// Index every function body and its direct-call edges, keyed by the
+	// types.Func full name — stable across the source-loaded package and
+	// export-data references from its importers.
+	index := make(map[string]*node)
+	var roots []string
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &node{pkg: pkg, decl: fd}
+				ast.Inspect(fd.Body, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if callee := analysis.Callee(pkg.Info, call); callee != nil {
+							n.callees = append(n.callees, callee.FullName())
+						}
+					}
+					return true
+				})
+				key := obj.FullName()
+				index[key] = n
+				if _, ok := pkg.FuncAnnotation(fd, analysis.VerbHotpath); ok {
+					roots = append(roots, key)
+				}
+			}
+		}
+	}
+	for _, r := range cfg.Roots {
+		if _, ok := index[r]; ok {
+			roots = append(roots, r)
+		}
+	}
+
+	// BFS over direct calls; remember which root first reached each
+	// function so diagnostics explain the provenance.
+	via := make(map[string]string, len(roots))
+	queue := make([]string, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := via[r]; !seen {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, c := range index[key].callees {
+			if _, ok := index[c]; !ok {
+				continue // no body here: stdlib, interface method, ...
+			}
+			if _, seen := via[c]; !seen {
+				via[c] = via[key]
+				queue = append(queue, c)
+			}
+		}
+	}
+
+	for key, root := range via {
+		n := index[key]
+		if _, ok := n.pkg.FuncAnnotation(n.decl, analysis.VerbAllowAlloc); ok {
+			continue // whole function audited
+		}
+		checkBody(cfg, pass, n, short(root))
+	}
+}
+
+// short compresses a FullName root to its last package element for
+// readable diagnostics: (*secureproc/internal/sim.System).Step -> (*sim.System).Step.
+func short(full string) string {
+	out := make([]byte, 0, len(full))
+	start := 0
+	for i := 0; i < len(full); i++ {
+		switch full[i] {
+		case '/':
+			out = out[:start]
+		case '.', ')', '(', '*', '[', ']', ' ':
+			out = append(out, full[i])
+			start = len(out)
+		default:
+			out = append(out, full[i])
+		}
+	}
+	return string(out)
+}
+
+func checkBody(cfg Config, pass *analysis.ProgramPass, n *node, root string) {
+	pkg := n.pkg
+	info := pkg.Info
+	report := func(x ast.Node, format string, args ...any) {
+		if _, ok := pkg.NodeAnnotation(x, analysis.VerbAllowAlloc); ok {
+			return
+		}
+		msg := fmt.Sprintf(format, args...)
+		pass.Report(analysis.Diagnostic{
+			Pos:      pass.Fset.Position(x.Pos()),
+			Analyzer: "hotpathalloc",
+			Message:  fmt.Sprintf("%s in hot-path function %s (reachable from %s)", msg, n.decl.Name.Name, root),
+		})
+	}
+
+	ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			checkCall(cfg, info, x, report)
+		case *ast.CompositeLit:
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Map:
+				report(x, "map literal allocates")
+			case *types.Slice:
+				report(x, "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			report(x, "closure may allocate its captures")
+			// Keep walking: the closure's body runs on the hot path too.
+		case *ast.GoStmt:
+			report(x, "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && !isConst(info, x) && isString(info.TypeOf(x)) {
+				report(x, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := info.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+						report(lhs, "map assignment may grow the map")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(cfg Config, info *types.Info, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	if callee := analysis.Callee(info, call); callee != nil {
+		if p := analysis.FuncPkgPath(callee); analysis.PathIn(p, cfg.AllocPkgs) {
+			report(call, "calls %s.%s", p, callee.Name())
+			return
+		}
+		boxedVariadic(info, call, callee, report)
+		return
+	}
+	switch analysis.Builtin(info, call) {
+	case "append":
+		report(call, "append may grow its backing array")
+	case "make":
+		report(call, "make allocates")
+	case "new":
+		report(call, "new allocates")
+	}
+	if dst, ok := analysis.IsConversion(info, call); ok && len(call.Args) == 1 {
+		src := info.TypeOf(call.Args[0])
+		checkConversion(call, src, dst, report)
+	}
+}
+
+// checkConversion flags allocating conversions: concrete value into an
+// interface (boxing) and string <-> []byte/[]rune copies.
+func checkConversion(call *ast.CallExpr, src, dst types.Type, report func(ast.Node, string, ...any)) {
+	if src == nil || dst == nil {
+		return
+	}
+	if types.IsInterface(dst) && !types.IsInterface(src) {
+		if b, ok := src.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+			report(call, "conversion boxes %s into %s", src, dst)
+		}
+		return
+	}
+	sStr, dStr := isString(src), isString(dst)
+	sBytes, dBytes := isByteish(src), isByteish(dst)
+	if (sStr && dBytes) || (sBytes && dStr) {
+		report(call, "%s <-> %s conversion copies", src, dst)
+	}
+}
+
+// boxedVariadic flags concrete arguments boxed into an interface-typed
+// variadic parameter (the fmt.Sprintf shape, for non-AllocPkgs callees).
+func boxedVariadic(info *types.Info, call *ast.CallExpr, callee *types.Func, report func(ast.Node, string, ...any)) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	elem, ok := last.Type().(*types.Slice)
+	if !ok || !types.IsInterface(elem.Elem()) {
+		return
+	}
+	for i := sig.Params().Len() - 1; i < len(call.Args); i++ {
+		if t := info.TypeOf(call.Args[i]); t != nil && !types.IsInterface(t) {
+			report(call.Args[i], "argument boxes %s into %s variadic", t, elem.Elem())
+		}
+	}
+}
+
+func isConst(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteish(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,18 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"secureproc/internal/analysis/analysistest"
+	"secureproc/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	// No configured roots: the fixture marks its own via //secsim:hotpath,
+	// exercising the same annotation machinery the real tree relies on for
+	// the scheme entry points.
+	a := hotpathalloc.New(hotpathalloc.Config{
+		AllocPkgs: []string{"fmt", "log"},
+	})
+	analysistest.Run(t, "testdata", a, "hot")
+}

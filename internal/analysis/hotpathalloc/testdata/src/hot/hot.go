@@ -1,0 +1,63 @@
+// Package hot is the hotpathalloc fixture: root marks the hot path via
+// annotation, reached transitively calls helper, cold stays unreachable.
+package hot
+
+import "fmt"
+
+type stater interface{ state() int }
+
+type machine struct {
+	scratch []uint64
+	seen    map[uint64]struct{}
+	n       int
+}
+
+func (m *machine) state() int { return m.n }
+
+//secsim:hotpath
+func (m *machine) Step(x uint64) {
+	_ = fmt.Sprintf("%d", x) // want `calls fmt\.Sprintf`
+	m.helper(x)
+	m.scratch = append(m.scratch, x)     // want `append may grow`
+	m.scratch = append(m.scratch[:0], x) //secsim:allowalloc scratch reuse audited by a runtime gate
+	m.seen[x] = struct{}{}               // want `map assignment may grow`
+	b := make([]byte, 8)                 // want `make allocates`
+	_ = b
+	_ = map[uint64]int{x: 1}        // want `map literal allocates`
+	_ = []uint64{x}                 // want `slice literal allocates`
+	_ = &machine{}                  // want `escapes to the heap`
+	f := func() uint64 { return x } // want `closure may allocate`
+	_ = f
+	go m.helper(x) // want `go statement allocates`
+	s := "a"
+	s = s + "b" // want `string concatenation allocates`
+	_ = s
+	_ = []byte(s) // want `conversion copies`
+	_ = stater(m) // want `boxes \*hot\.machine into hot\.stater`
+	m.variadic(x) // want `argument boxes uint64`
+}
+
+func (m *machine) helper(x uint64) {
+	m.n += *new(int) // want `new allocates`
+}
+
+func (m *machine) variadic(args ...any) { m.n += len(args) }
+
+// cold is not reachable from any root: nothing here is flagged.
+func cold() {
+	_ = fmt.Sprintf("%d", make([]byte, 8))
+}
+
+// audited is hot but escaped wholesale at the declaration.
+//
+//secsim:allowalloc cold setup branch, audited by hand
+func (m *machine) audited(x uint64) {
+	m.scratch = append(m.scratch, x)
+}
+
+//secsim:hotpath
+func root2(m *machine) { m.audited(1) }
+
+func bad(m *machine) {
+	m.scratch = m.scratch[:0] //secsim:allowalloc    // want `needs a reason`
+}

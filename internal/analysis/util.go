@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the named function or method a direct call invokes:
+// plain calls (f(x)), package-qualified calls (fmt.Sprintf(x)) and
+// method calls (s.cpu.Compute(x)), including calls through interface
+// method sets. Calls of function-typed values, conversions and builtins
+// return nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Builtin returns the builtin's name when the call invokes one (append,
+// make, new, ...), accounting for shadowing, else "".
+func Builtin(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// IsConversion reports whether the call is a type conversion, returning
+// the destination type.
+func IsConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// FuncPkgPath returns the import path of the package declaring f ("" for
+// builtins like error.Error that have no package).
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// PathIn reports whether path is any of the given import paths.
+func PathIn(path string, paths []string) bool {
+	for _, p := range paths {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+// Package other is outside the enforced boundary: nothing here is
+// flagged even though it uses the raw error helpers.
+package other
+
+import "net/http"
+
+func free(w http.ResponseWriter) {
+	http.Error(w, "fine here", 500)
+	w.WriteHeader(http.StatusBadGateway)
+}

@@ -1,0 +1,16 @@
+// Package wire is the wireenvelope fixture: an enforced HTTP boundary
+// package where error responses must use the api envelope.
+package wire
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", 500)                    // want `http\.Error writes an unenveloped error; use api\.WriteError`
+	w.WriteHeader(http.StatusInternalServerError) // want `bare WriteHeader\(500\) bypasses the error envelope`
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(code())          // want `WriteHeader with a non-constant status may bypass the error envelope`
+	http.Error(w, "stream", 502)   //secsim:rawwire raw streaming status line, envelope added by the proxy
+	w.WriteHeader(http.StatusGone) //secsim:rawwire tombstone probe speaks bare statuses by design
+}
+
+func code() int { return 500 }

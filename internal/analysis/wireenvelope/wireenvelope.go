@@ -1,0 +1,93 @@
+// Package wireenvelope enforces the api error-envelope contract from
+// PR 9: inside the HTTP boundary packages (internal/server,
+// internal/cluster), error responses must flow through api.WriteError —
+// never http.Error or a bare WriteHeader with an error status — so no
+// handler can emit an unenveloped error the fleet's clients cannot
+// parse. internal/api itself (the envelope implementation) is exempt by
+// construction: it is not in the enforced package list.
+package wireenvelope
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+
+	"secureproc/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Packages are the import paths whose files are enforced.
+	Packages []string
+}
+
+// DefaultConfig covers the repo's HTTP boundary.
+var DefaultConfig = Config{
+	Packages: []string{
+		"secureproc/internal/server",
+		"secureproc/internal/cluster",
+	},
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultConfig)
+
+// New builds a wireenvelope analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "wireenvelope",
+		Doc:  "require api.WriteError (the error envelope) on every HTTP error path",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !analysis.PathIn(pass.Pkg.Path, cfg.Packages) {
+			return nil
+		}
+		run(pass)
+		return nil
+	}
+	return a
+}
+
+func run(pass *analysis.Pass) {
+	pkg := pass.Pkg
+	report := func(x ast.Node, format string, args ...any) {
+		if _, ok := pkg.NodeAnnotation(x, analysis.VerbRawWire); ok {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:      pass.Fset.Position(x.Pos()),
+			Analyzer: "wireenvelope",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			switch callee.FullName() {
+			case "net/http.Error":
+				report(call, "http.Error writes an unenveloped error; use api.WriteError")
+			case "(net/http.ResponseWriter).WriteHeader":
+				if len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Args[0]]
+				switch {
+				case ok && tv.Value != nil && tv.Value.Kind() == constant.Int:
+					if code, exact := constant.Int64Val(tv.Value); exact && code >= 400 {
+						report(call, "bare WriteHeader(%d) bypasses the error envelope; use api.WriteError", code)
+					}
+				default:
+					report(call, "WriteHeader with a non-constant status may bypass the error envelope; route errors through api.WriteError")
+				}
+			}
+			return true
+		})
+	}
+}

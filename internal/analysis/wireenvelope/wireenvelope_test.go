@@ -1,0 +1,13 @@
+package wireenvelope_test
+
+import (
+	"testing"
+
+	"secureproc/internal/analysis/analysistest"
+	"secureproc/internal/analysis/wireenvelope"
+)
+
+func TestWireEnvelope(t *testing.T) {
+	a := wireenvelope.New(wireenvelope.Config{Packages: []string{"wire"}})
+	analysistest.Run(t, "testdata", a, "wire", "other")
+}

@@ -73,24 +73,28 @@ func Status(code string) int {
 	}
 }
 
-// WriteJSON writes v as indented JSON with the given status.
-func WriteJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as indented JSON with the given status. The returned
+// error is the encoder's: by the time encoding starts the status line is
+// committed, so a failure (in practice: the client hung up mid-body)
+// cannot be reported on the wire — callers record it in their metrics
+// instead of silently dropping it.
+func WriteJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+	return enc.Encode(v)
 }
 
 // WriteError writes e as an Envelope with its mapped status. CodeOverloaded
 // errors additionally carry the Retry-After header, so the estimate is
 // available both to plain HTTP clients (header) and to envelope parsers
-// (retry_after_s).
-func WriteError(w http.ResponseWriter, e *Error) {
+// (retry_after_s). The returned error is WriteJSON's.
+func WriteError(w http.ResponseWriter, e *Error) error {
 	if e.RetryAfterS > 0 {
 		w.Header().Set("Retry-After", fmt.Sprint(e.RetryAfterS))
 	}
-	WriteJSON(w, Status(e.Code), Envelope{Err: *e})
+	return WriteJSON(w, Status(e.Code), Envelope{Err: *e})
 }
 
 // ErrorFromBody decodes an error envelope from a non-2xx response body.

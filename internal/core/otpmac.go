@@ -78,6 +78,8 @@ func (m *OTPMAC) Name() string {
 func (m *OTPMAC) VerifyPolicy() integrity.VerifyPolicy { return m.policy }
 
 // ReadLine implements Scheme: OTP timing plus MAC fetch and verification.
+//
+//secsim:hotpath
 func (m *OTPMAC) ReadLine(now uint64, a Access) uint64 {
 	// Whether the metadata (seq number + MAC) is on chip must be decided
 	// before the OTP read installs the entry. Instruction lines use
@@ -104,6 +106,8 @@ func (m *OTPMAC) ReadLine(now uint64, a Access) uint64 {
 // WritebackLine implements Scheme: OTP writeback plus the MAC refresh. The
 // hash happens in the write buffer's shadow; only an uncovered MAC-table
 // entry costs bus traffic.
+//
+//secsim:hotpath
 func (m *OTPMAC) WritebackLine(now uint64, a Access) uint64 {
 	if a.Instr {
 		return m.OTP.WritebackLine(now, a)

@@ -55,6 +55,8 @@ func NewOTPPre(otp *OTP) *OTPPre {
 func (p *OTPPre) Name() string { return "OTP-Pre" }
 
 // ReadLine implements Scheme.
+//
+//secsim:hotpath
 func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 	if a.Instr {
 		p.instrReads++
@@ -121,6 +123,8 @@ func (p *OTPPre) ReadLine(now uint64, a Access) uint64 {
 // WritebackLine implements Scheme: normal OTP writeback, then record that
 // the encryption pad for the incremented sequence number doubles as the
 // precomputed decryption pad for the line's next read.
+//
+//secsim:hotpath
 func (p *OTPPre) WritebackLine(now uint64, a Access) uint64 {
 	cpuFree := p.OTP.WritebackLine(now, a)
 	if !a.Instr {

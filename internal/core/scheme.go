@@ -133,11 +133,15 @@ func NewBaseline(bus *mem.Bus, wbuf *mem.WriteBuffer) *Baseline {
 func (b *Baseline) Name() string { return "baseline" }
 
 // ReadLine implements Scheme: just the memory access.
+//
+//secsim:hotpath
 func (b *Baseline) ReadLine(now uint64, a Access) uint64 {
 	return b.bus.Read(now, mem.SrcLineFill)
 }
 
 // WritebackLine implements Scheme: queue in the write buffer.
+//
+//secsim:hotpath
 func (b *Baseline) WritebackLine(now uint64, a Access) uint64 {
 	return b.wbuf.Insert(now, now, b.drainWriteback)
 }
@@ -176,6 +180,8 @@ func (x *XOM) Name() string { return "XOM" }
 
 // ReadLine implements Scheme: decryption starts only after the line arrives
 // — the serial critical path the paper attacks.
+//
+//secsim:hotpath
 func (x *XOM) ReadLine(now uint64, a Access) uint64 {
 	x.reads++
 	arrival := x.bus.Read(now, mem.SrcLineFill)
@@ -184,6 +190,8 @@ func (x *XOM) ReadLine(now uint64, a Access) uint64 {
 
 // WritebackLine implements Scheme: encryption happens while the line sits in
 // the write buffer (Section 2.2), so only buffer pressure stalls the CPU.
+//
+//secsim:hotpath
 func (x *XOM) WritebackLine(now uint64, a Access) uint64 {
 	x.writebacks++
 	ready := x.crypto.Issue(now)
@@ -283,6 +291,8 @@ func (o *OTP) Name() string { return o.policy.String() }
 func (o *OTP) SNC() *snc.SNC { return o.snc }
 
 // ReadLine implements Scheme.
+//
+//secsim:hotpath
 func (o *OTP) ReadLine(now uint64, a Access) uint64 {
 	ready, _ := o.readLine(now, a)
 	return ready
@@ -368,6 +378,8 @@ func (o *OTP) spill(now uint64, victimVA uint64, victimSeq uint16) {
 }
 
 // WritebackLine implements Scheme.
+//
+//secsim:hotpath
 func (o *OTP) WritebackLine(now uint64, a Access) uint64 {
 	if a.Instr {
 		// Instruction lines are never dirty; nothing to do.
@@ -471,6 +483,8 @@ func (o *OTP) SwitchPolicy() SwitchPolicy { return o.switchPolicy }
 // carries. The cost shows up as capacity, not traffic — tag bits shrink the
 // SNC and co-scheduled tasks evict each other's entries through normal LRU
 // pressure.
+//
+//secsim:hotpath
 func (o *OTP) ContextSwitch(now uint64, next int) (done uint64) {
 	o.switches++
 	done = now

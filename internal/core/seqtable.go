@@ -52,8 +52,8 @@ func (t *seqTable) chunk(va uint64, create bool) (*seqChunk, uint64) {
 		if !create {
 			return nil, idx
 		}
-		ch = new(seqChunk)
-		t.chunks[cn] = ch
+		ch = new(seqChunk) //secsim:allowalloc one-time chunk fault per 4MB region; steady state touches no new chunks
+		t.chunks[cn] = ch  //secsim:allowalloc chunk directory grows only on first touch of a region
 	}
 	t.lastCN, t.lastChunk = cn, ch
 	return ch, idx

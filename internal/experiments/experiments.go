@@ -220,7 +220,7 @@ func (r *Runner) config(k runKey) (sim.Config, error) {
 // valid benchmarks and configurations, so an error here is a programming
 // bug and panics as before.
 func (r *Runner) run(k runKey) sim.Result {
-	res, err := r.result(context.Background(), k, false)
+	res, err := r.result(context.Background(), k, false) //secsim:detach sequential batch path: figure sweeps run to completion by design
 	if err != nil {
 		panic(err)
 	}
@@ -428,7 +428,7 @@ func (r *Runner) build(f figureSpec) FigureResult {
 func (r *Runner) figure(short string) FigureResult {
 	for _, f := range figureSpecs() {
 		if f.short == short {
-			if err := r.sweep(context.Background(), f.keys()); err != nil {
+			if err := r.sweep(context.Background(), f.keys()); err != nil { //secsim:detach process-lifetime figure build (All)
 				panic(err)
 			}
 			return r.build(f)
@@ -482,7 +482,7 @@ func (r *Runner) All() []FigureResult {
 			}
 		}
 	}
-	if err := r.sweep(context.Background(), keys); err != nil {
+	if err := r.sweep(context.Background(), keys); err != nil { //secsim:detach process-lifetime figure build (ByName)
 		panic(err)
 	}
 	out := make([]FigureResult, 0, len(specs)+1)

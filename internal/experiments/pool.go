@@ -58,7 +58,7 @@ func (r *Runner) result(ctx context.Context, k runKey, held bool) (sim.Result, e
 		// the caller's ctx flowed in here, an owner coalescing onto an
 		// in-flight trace could record its own timeout as the entry's
 		// permanent error, poisoning the spec for every future request.
-		res, err := r.simulate(context.Background(), k, held)
+		res, err := r.simulate(context.Background(), k, held) //secsim:detach memo owner: a caller timeout must not poison the shared entry
 		if err == nil && r.Store != nil {
 			r.Store.Save(r.storeKey(k), res)
 		}
@@ -454,7 +454,7 @@ func (s Spec) CanonicalKey() string {
 
 // Run executes (or recalls) the simulation for one spec.
 func (r *Runner) Run(s Spec) (sim.Result, error) {
-	return r.result(context.Background(), s.key(), false)
+	return r.result(context.Background(), s.key(), false) //secsim:detach warm checkpoint build is shared across requests
 }
 
 // RunCtx is Run with cancellation: if the spec's simulation is owned by

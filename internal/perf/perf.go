@@ -110,7 +110,7 @@ func measureDispatch() Metric {
 	return measureOp(func() (int, uint64) {
 		b := dispatch.NewBudget(runtime.GOMAXPROCS(0))
 		d := dispatch.NewDispatcher(b)
-		ctx := context.Background()
+		ctx := context.Background() //secsim:detach perf harness runs are never cancelled
 		var wg sync.WaitGroup
 		wg.Add(dispatchJobs)
 		for i := 0; i < dispatchJobs; i++ {

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// brokenWriter fails every body write — the shape of a client that hung
+// up after the status line was committed.
+type brokenWriter struct{ h http.Header }
+
+func (b *brokenWriter) Header() http.Header {
+	if b.h == nil {
+		b.h = make(http.Header)
+	}
+	return b.h
+}
+func (b *brokenWriter) WriteHeader(int)           {}
+func (b *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+func TestEncodeFailureCounted(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	s.writeJSON(&brokenWriter{}, "run", http.StatusOK, map[string]int{"x": 1})
+	s.writeError(&brokenWriter{}, "sweep", "internal", errors.New("boom"))
+
+	m := s.MetricsSnapshot()
+	if m.EncodeFailures["run"] != 1 || m.EncodeFailures["sweep"] != 1 {
+		t.Errorf("encode_failures_total = %v, want run=1 sweep=1", m.EncodeFailures)
+	}
+
+	// A healthy writer must not count.
+	ok := &recordingWriter{}
+	s.writeJSON(ok, "run", http.StatusOK, map[string]int{"x": 1})
+	if got := s.MetricsSnapshot().EncodeFailures["run"]; got != 1 {
+		t.Errorf("encode_failures_total[run] after clean write = %d, want still 1", got)
+	}
+}
+
+// recordingWriter is a minimal working ResponseWriter.
+type recordingWriter struct {
+	h    http.Header
+	body []byte
+}
+
+func (r *recordingWriter) Header() http.Header {
+	if r.h == nil {
+		r.h = make(http.Header)
+	}
+	return r.h
+}
+func (r *recordingWriter) WriteHeader(int) {}
+func (r *recordingWriter) Write(p []byte) (int, error) {
+	r.body = append(r.body, p...)
+	return len(p), nil
+}

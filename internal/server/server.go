@@ -105,6 +105,15 @@ type Server struct {
 
 	// Per-endpoint request counters for /metrics.
 	runReqs, sweepReqs, figureReqs, listReqs, healthReqs, metricReqs, clusterReqs atomic.Int64
+
+	// encMu guards encFails: response bodies that failed to encode
+	// mid-write, keyed by the same endpoint names as the request
+	// counters (plus "router" and "admission" for the middleware).
+	// In practice a failure means the client hung up after the status
+	// line was committed — invisible on the wire, so it is counted here
+	// and surfaced in /metrics instead of silently dropped.
+	encMu    sync.Mutex
+	encFails map[string]int64
 }
 
 // New builds the service over a fresh Runner. Failure modes are an
@@ -131,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 		stream:    cfg.Stream,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		encFails:  make(map[string]int64),
 	}
 	s.mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
 	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
@@ -143,16 +153,16 @@ func New(cfg Config) (*Server, error) {
 	// Method-less fallbacks so a wrong-method request gets the API's 405
 	// envelope (with Allow) instead of the mux's plain-text default, and
 	// everything else gets the 404 envelope.
-	s.mux.HandleFunc("/v1/run", methodNotAllowed(http.MethodPost))
-	s.mux.HandleFunc("/v1/sweep", methodNotAllowed(http.MethodPost))
-	s.mux.HandleFunc("/v1/figures/{name}", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/v1/schemes", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/v1/benchmarks", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/v1/cluster/stats", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/metrics", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/run", s.methodNotAllowed(http.MethodPost))
+	s.mux.HandleFunc("/v1/sweep", s.methodNotAllowed(http.MethodPost))
+	s.mux.HandleFunc("/v1/figures/{name}", s.methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/schemes", s.methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/benchmarks", s.methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/cluster/stats", s.methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/healthz", s.methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/metrics", s.methodNotAllowed(http.MethodGet))
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		api.WriteError(w, api.Errorf(api.CodeNotFound, "no such endpoint: %s", r.URL.Path))
+		s.writeAPIError(w, "router", api.Errorf(api.CodeNotFound, "no such endpoint: %s", r.URL.Path))
 	})
 	if cfg.Cluster != nil {
 		if err := s.EnableCluster(*cfg.Cluster); err != nil {
@@ -234,7 +244,7 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			secs := int64((ra + time.Second - 1) / time.Second)
 			e := api.Errorf(api.CodeOverloaded, "server at admission capacity; retry after %ds", secs)
 			e.RetryAfterS = secs
-			api.WriteError(w, e)
+			s.writeAPIError(w, "admission", e)
 			return
 		}
 		defer release()
@@ -247,32 +257,66 @@ func (s *Server) Runner() *experiments.Runner { return s.runner }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// noteEncodeFailure counts a response body that failed to encode after
+// the status line was committed; per-endpoint totals surface in /metrics.
+func (s *Server) noteEncodeFailure(endpoint string) {
+	s.encMu.Lock()
+	s.encFails[endpoint]++
+	s.encMu.Unlock()
+}
+
+// encodeFailures snapshots the per-endpoint encode-failure counters.
+func (s *Server) encodeFailures() map[string]int64 {
+	s.encMu.Lock()
+	defer s.encMu.Unlock()
+	out := make(map[string]int64, len(s.encFails))
+	for k, v := range s.encFails {
+		out[k] = v
+	}
+	return out
+}
+
+// writeJSON writes v through the api helper, recording an encode failure
+// against the endpoint counter instead of discarding it.
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v any) {
+	if api.WriteJSON(w, status, v) != nil {
+		s.noteEncodeFailure(endpoint)
+	}
+}
+
+// writeAPIError writes a ready-made envelope, recording encode failures.
+func (s *Server) writeAPIError(w http.ResponseWriter, endpoint string, e *api.Error) {
+	if api.WriteError(w, e) != nil {
+		s.noteEncodeFailure(endpoint)
+	}
+}
+
 // writeError maps err onto the API error envelope: an *api.Error passes
 // through unchanged (a forwarded peer's envelope keeps its code), anything
 // else is wrapped under the given default code.
-func writeError(w http.ResponseWriter, code string, err error) {
+func (s *Server) writeError(w http.ResponseWriter, endpoint, code string, err error) {
 	var ae *api.Error
 	if errors.As(err, &ae) {
-		api.WriteError(w, ae)
+		s.writeAPIError(w, endpoint, ae)
 		return
 	}
-	api.WriteError(w, api.Errorf(code, "%s", err.Error()))
+	s.writeAPIError(w, endpoint, api.Errorf(code, "%s", err.Error()))
 }
 
 // methodNotAllowed answers a known route hit with the wrong method.
-func methodNotAllowed(allow string) http.HandlerFunc {
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		api.WriteError(w, api.Errorf(api.CodeMethodNotAllowed, "method %s not allowed on %s; use %s", r.Method, r.URL.Path, allow))
+		s.writeAPIError(w, "router", api.Errorf(api.CodeMethodNotAllowed, "method %s not allowed on %s; use %s", r.Method, r.URL.Path, allow))
 	}
 }
 
 // checkVersion rejects requests whose X-Secsim-Api-Version header names a
 // contract this node does not speak — a mixed-version fleet fails loudly
 // at the boundary instead of misparsing forwarded payloads.
-func checkVersion(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) checkVersion(w http.ResponseWriter, r *http.Request) bool {
 	if v := r.Header.Get(api.HeaderAPIVersion); v != "" && v != api.Version {
-		api.WriteError(w, api.Errorf(api.CodeUnsupportedVersion, "api version %q not supported (this node speaks %q)", v, api.Version))
+		s.writeAPIError(w, "router", api.Errorf(api.CodeUnsupportedVersion, "api version %q not supported (this node speaks %q)", v, api.Version))
 		return false
 	}
 	return true
@@ -321,17 +365,17 @@ func await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.runReqs.Add(1)
-	if !checkVersion(w, r) {
+	if !s.checkVersion(w, r) {
 		return
 	}
 	var req api.RunRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, api.CodeBadRequest, err)
+		s.writeError(w, "run", api.CodeBadRequest, err)
 		return
 	}
 	specs, err := req.Specs(false)
 	if err != nil {
-		writeError(w, api.CodeBadRequest, err)
+		s.writeError(w, "run", api.CodeBadRequest, err)
 		return
 	}
 	spec := specs[0]
@@ -352,10 +396,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 					r.Header.Get(api.HeaderClientID), api.RequestOf(spec), &out)
 				if ok {
 					if apiErr != nil {
-						api.WriteError(w, apiErr)
+						s.writeAPIError(w, "run", apiErr)
 						return
 					}
-					api.WriteJSON(w, http.StatusOK, out)
+					s.writeJSON(w, "run", http.StatusOK, out)
 					return
 				}
 				// Owner down: fall through to local execution.
@@ -382,10 +426,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// Client is gone; nothing useful to write.
 			return
 		}
-		writeError(w, api.CodeInternal, err)
+		s.writeError(w, "run", api.CodeInternal, err)
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, api.RunResponse{Spec: api.SpecOf(spec), Result: res})
+	s.writeJSON(w, "run", http.StatusOK, api.RunResponse{Spec: api.SpecOf(spec), Result: res})
 }
 
 // streaming resolves whether this sweep answers as an NDJSON stream: the
@@ -403,23 +447,23 @@ func (s *Server) streaming(req api.SweepRequest, r *http.Request) bool {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepReqs.Add(1)
-	if !checkVersion(w, r) {
+	if !s.checkVersion(w, r) {
 		return
 	}
 	var req api.SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, api.CodeBadRequest, err)
+		s.writeError(w, "sweep", api.CodeBadRequest, err)
 		return
 	}
 	if len(req.Specs) == 0 {
-		writeError(w, api.CodeBadRequest, fmt.Errorf("sweep needs at least one spec"))
+		s.writeError(w, "sweep", api.CodeBadRequest, fmt.Errorf("sweep needs at least one spec"))
 		return
 	}
 	var specs []experiments.Spec
 	for i, sr := range req.Specs {
 		expanded, err := sr.Specs(true)
 		if err != nil {
-			writeError(w, api.CodeBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			s.writeError(w, "sweep", api.CodeBadRequest, fmt.Errorf("spec %d: %w", i, err))
 			return
 		}
 		specs = append(specs, expanded...)
@@ -459,10 +503,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			return
 		}
-		writeError(w, api.CodeInternal, err)
+		s.writeError(w, "sweep", api.CodeInternal, err)
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, api.SweepResponse{Count: len(specs), Results: results})
+	s.writeJSON(w, "sweep", http.StatusOK, api.SweepResponse{Count: len(specs), Results: results})
 }
 
 // sweepCluster shards one expanded sweep across the ring: each peer-owned
@@ -584,7 +628,10 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []exp
 			line.Result = &res
 			count++
 		}
-		enc.Encode(line) //nolint:errcheck // client gone surfaces via ctx
+		if enc.Encode(line) != nil {
+			// Client gone surfaces via ctx below; still count the lost body.
+			s.noteEncodeFailure("sweep")
+		}
 		if fl != nil {
 			fl.Flush()
 		}
@@ -598,7 +645,9 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, specs []exp
 	if err != nil {
 		trailer.Error = err.Error()
 	}
-	enc.Encode(trailer) //nolint:errcheck // client gone is the only failure
+	if enc.Encode(trailer) != nil {
+		s.noteEncodeFailure("sweep")
+	}
 	if fl != nil {
 		fl.Flush()
 	}
@@ -615,9 +664,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		case r.Context().Err() != nil:
 			return
 		case strings.Contains(err.Error(), "unknown figure"):
-			writeError(w, api.CodeNotFound, err)
+			s.writeError(w, "figures", api.CodeNotFound, err)
 		default:
-			writeError(w, api.CodeInternal, err)
+			s.writeError(w, "figures", api.CodeInternal, err)
 		}
 		return
 	}
@@ -626,7 +675,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, fr.Render())
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, api.FigureResponse{Name: name, ID: fr.ID, Title: fr.Title, Rendered: fr.Render()})
+	s.writeJSON(w, "figures", http.StatusOK, api.FigureResponse{Name: name, ID: fr.ID, Title: fr.Title, Rendered: fr.Render()})
 }
 
 func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
@@ -636,17 +685,17 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	for _, d := range ds {
 		out = append(out, api.SchemeInfo{Name: d.Name, Doc: d.Doc, Aliases: d.Aliases})
 	}
-	api.WriteJSON(w, http.StatusOK, api.SchemesResponse{Schemes: out})
+	s.writeJSON(w, "listings", http.StatusOK, api.SchemesResponse{Schemes: out})
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	s.listReqs.Add(1)
-	api.WriteJSON(w, http.StatusOK, api.BenchmarksResponse{Benchmarks: workload.BenchmarkNames})
+	s.writeJSON(w, "listings", http.StatusOK, api.BenchmarksResponse{Benchmarks: workload.BenchmarkNames})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.healthReqs.Add(1)
-	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
+	s.writeJSON(w, "healthz", http.StatusOK, api.HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
@@ -658,10 +707,10 @@ func (s *Server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
 	s.clusterReqs.Add(1)
 	cs := s.cluster.Load()
 	if cs == nil {
-		api.WriteError(w, api.Errorf(api.CodeNotFound, "cluster mode is off (no -peers)"))
+		s.writeAPIError(w, "cluster", api.Errorf(api.CodeNotFound, "cluster mode is off (no -peers)"))
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, cs.fabric.LocalStats(s.runner.Simulations()))
+	s.writeJSON(w, "cluster", http.StatusOK, cs.fabric.LocalStats(s.runner.Simulations()))
 }
 
 // MetricsSnapshot assembles the current metrics (also used by tests). The
@@ -687,14 +736,15 @@ func (s *Server) MetricsSnapshot() api.Metrics {
 			"metrics":  s.metricReqs.Load(),
 			"cluster":  s.clusterReqs.Load(),
 		},
-		Simulations:  s.runner.Simulations(),
-		InFlightSims: rm.InFlight,
-		ResultMemo:   rm,
-		TraceMemo:    s.runner.TraceStats(),
-		ResultStore:  storeStats,
-		Checkpoints:  experiments.CheckpointCacheStats(),
-		Speculation:  s.runner.SpeculationStats(),
-		EpochSims:    experiments.EpochSimCacheStats(),
+		EncodeFailures: s.encodeFailures(),
+		Simulations:    s.runner.Simulations(),
+		InFlightSims:   rm.InFlight,
+		ResultMemo:     rm,
+		TraceMemo:      s.runner.TraceStats(),
+		ResultStore:    storeStats,
+		Checkpoints:    experiments.CheckpointCacheStats(),
+		Speculation:    s.runner.SpeculationStats(),
+		EpochSims:      experiments.EpochSimCacheStats(),
 		Dispatch: api.DispatchMetrics{
 			Admission: s.admission.Stats(),
 			Queue:     s.runner.DispatchStats(),
@@ -723,5 +773,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if cs := s.cluster.Load(); cs != nil && m.Cluster != nil {
 		m.Cluster.Fleet = cs.fabric.Rollup(r.Context(), m.Cluster.Local)
 	}
-	api.WriteJSON(w, http.StatusOK, m)
+	s.writeJSON(w, "metrics", http.StatusOK, m)
 }

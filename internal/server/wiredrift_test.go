@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"secureproc/internal/api"
+)
+
+// Wire-drift guard: live response bodies must decode into the api structs
+// with DisallowUnknownFields. A field added to a payload without a
+// matching struct field (or a renamed JSON tag) fails here, before a
+// mixed-version fleet or an external client trips over it.
+
+func strictDecode(t *testing.T, url string, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		t.Fatalf("strict decode of %s into %T: %v\nbody: %s", url, dst, err, body)
+	}
+}
+
+func TestWireDriftMetricsSingleNode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Exercise an endpoint first so the counters are populated.
+	resp, b := postJSON(t, ts.URL+"/v1/run", `{"scheme":"baseline","bench":"gcc"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, b)
+	}
+	var m api.Metrics
+	strictDecode(t, ts.URL+"/metrics", &m)
+	if m.Requests["run"] != 1 {
+		t.Errorf("requests_total[run] = %d, want 1", m.Requests["run"])
+	}
+}
+
+func TestWireDriftMetricsAndStatsCluster(t *testing.T) {
+	_, _, tsa, _ := newClusterPair(t, Config{})
+	// The cluster block (ring view, peers, fleet rollup) is only present
+	// in cluster mode; strict-decode it too.
+	var m api.Metrics
+	strictDecode(t, tsa.URL+"/metrics", &m)
+	if m.Cluster == nil {
+		t.Fatal("metrics: cluster block absent on a cluster node")
+	}
+	var ns api.NodeStats
+	strictDecode(t, tsa.URL+"/v1/cluster/stats", &ns)
+}

@@ -447,11 +447,11 @@ func (s *System) ContextSwitch(next int) SwitchCost {
 	s.l1i.InvalidateAll()
 	victims := s.switchVictims[:0]
 	clear(s.switchSeen)
-	add := func(pa, va uint64) {
+	add := func(pa, va uint64) { //secsim:allowalloc non-escaping closure over reused scratch; AllocsPerRun==0 gate in allocs_test.go
 		lpa := s.l2.LineAddr(pa)
 		if _, ok := s.switchSeen[lpa]; !ok {
-			s.switchSeen[lpa] = struct{}{}
-			victims = append(victims, [2]uint64{lpa, s.l2.LineAddr(va)})
+			s.switchSeen[lpa] = struct{}{}                               //secsim:allowalloc switchSeen is cleared, not reallocated; stable after first switch
+			victims = append(victims, [2]uint64{lpa, s.l2.LineAddr(va)}) //secsim:allowalloc switchVictims scratch reuse; stable after first switch
 		}
 	}
 	for _, d := range s.l1d.InvalidateAll() {

@@ -27,8 +27,8 @@ func (t *tagIndex) init(capacity int) {
 		size <<= 1
 	}
 	if len(t.slots) != size {
-		t.keys = make([]uint64, size)
-		t.slots = make([]int32, size)
+		t.keys = make([]uint64, size) //secsim:allowalloc reallocated only when capacity changes; flush-path reinit clears in place
+		t.slots = make([]int32, size) //secsim:allowalloc reallocated only when capacity changes
 		t.mask = uint32(size - 1)
 		t.shift = uint(64 - bits.TrailingZeros(uint(size)))
 	}

@@ -391,7 +391,7 @@ func (s *SNC) FlushAll() (spilled [][2]uint64) {
 		st := &s.sets[si]
 		for slot := st.head; slot >= 0; slot = s.entries[slot].next {
 			e := &s.entries[slot]
-			spilled = append(spilled, [2]uint64{e.tag << s.lineShift, uint64(e.seq)})
+			spilled = append(spilled, [2]uint64{e.tag << s.lineShift, uint64(e.seq)}) //secsim:allowalloc flushScratch reuse; stable once the largest flush has been seen
 		}
 		s.resetSet(si)
 	}

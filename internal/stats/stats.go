@@ -275,7 +275,7 @@ func SpearmanRank(a, b Series) float64 {
 	}
 	ra, rb := ranks(a), ranks(b)
 	var pairs []pair
-	for l, r := range ra {
+	for l, r := range ra { //secsim:nondet order-independent reduction: only the sum of rank differences is used
 		if r2, ok := rb[l]; ok {
 			pairs = append(pairs, pair{r, r2})
 		}
